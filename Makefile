@@ -1,0 +1,48 @@
+# Convenience targets for the rayfade reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test race bench cover figures results clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+cover:
+	$(GO) test -cover ./...
+
+# Regenerate the paper's figures as SVG plus the data tables in results/.
+figures: build
+	mkdir -p results
+	$(GO) run ./cmd/raysched figure1 -format svg > results/figure1.svg
+	$(GO) run ./cmd/raysched figure2 -format svg > results/figure2.svg
+	$(GO) run ./cmd/raysched figure1 -format md  > results/figure1.md
+	$(GO) run ./cmd/raysched figure2             > results/figure2.md
+
+# Regenerate every recorded experiment output (takes several minutes).
+results: figures
+	$(GO) run ./cmd/raysched figure1 -format csv > results/figure1.csv
+	$(GO) run ./cmd/raysched figure2 -format csv > results/figure2.csv
+	$(GO) run ./cmd/raysched optimum             > results/optimum.txt
+	$(GO) run ./cmd/raysched reduction           > results/reduction.txt
+	$(GO) run ./cmd/raysched fading              > results/fading.txt
+	$(GO) run ./cmd/raysched topology            > results/topology.md
+	$(GO) run ./cmd/raysched shannon             > results/shannon.md
+	$(GO) run ./cmd/raysched latency -trials 3   > results/latency.txt
+	$(GO) run ./cmd/raysched baseline            > results/baseline.txt
+
+clean:
+	$(GO) clean -testcache

@@ -1,0 +1,97 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"rayfade/internal/netio"
+	"rayfade/internal/network"
+)
+
+func TestRunKinds(t *testing.T) {
+	dir := t.TempDir()
+	cases := map[string][]string{
+		"uniform": {"-kind", "uniform", "-n", "20"},
+		"poisson": {"-kind", "poisson", "-intensity", "2e-5"},
+		"cluster": {"-kind", "cluster", "-clusters", "3", "-perchild", "5"},
+		"grid":    {"-kind", "grid", "-rows", "3", "-cols", "4"},
+	}
+	for name, args := range cases {
+		path := filepath.Join(dir, name+".json")
+		if err := run(append(args, "-o", path), os.Stdout); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		net, err := netio.LoadFile(path)
+		if err != nil {
+			t.Fatalf("%s: load: %v", name, err)
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatalf("%s: invalid: %v", name, err)
+		}
+	}
+	// Grid with the given dimensions has exactly rows×cols links.
+	net, err := netio.LoadFile(filepath.Join(dir, "grid.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 12 {
+		t.Fatalf("grid links = %d, want 12", net.N())
+	}
+}
+
+func TestRunDeterministicPerSeed(t *testing.T) {
+	dir := t.TempDir()
+	a, b := filepath.Join(dir, "a.json"), filepath.Join(dir, "b.json")
+	if err := run([]string{"-n", "10", "-seed", "5", "-o", a}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-n", "10", "-seed", "5", "-o", b}, os.Stdout); err != nil {
+		t.Fatal(err)
+	}
+	ra, err := os.ReadFile(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := os.ReadFile(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ra) != string(rb) {
+		t.Fatal("same seed produced different files")
+	}
+}
+
+func TestRunPowerAssignments(t *testing.T) {
+	dir := t.TempDir()
+	for _, p := range []string{"uniform:2", "sqrt:2", "linear:0.5"} {
+		path := filepath.Join(dir, "p.json")
+		if err := run([]string{"-n", "5", "-power", p, "-o", path}, os.Stdout); err != nil {
+			t.Fatalf("power %s: %v", p, err)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	for name, args := range map[string][]string{
+		"bad kind":        {"-kind", "mesh"},
+		"bad power":       {"-power", "nonsense"},
+		"bad power value": {"-power", "uniform:-1"},
+		"bad power fmt":   {"-power", "uniform:abc"},
+		"bad config":      {"-n", "0"},
+	} {
+		if err := run(args, os.Stdout); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestParsePower(t *testing.T) {
+	pa, err := parsePower("sqrt:3", 2.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pa.(network.SquareRootPower); !ok {
+		t.Fatalf("got %T", pa)
+	}
+}

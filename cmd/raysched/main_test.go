@@ -1,0 +1,221 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+
+	"rayfade/internal/netio"
+	"rayfade/internal/network"
+	"rayfade/internal/rng"
+)
+
+// captureStdout runs fn with os.Stdout redirected to a pipe and returns
+// what it printed.
+func captureStdout(t *testing.T, fn func() error) string {
+	t.Helper()
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	done := make(chan string)
+	go func() {
+		var buf bytes.Buffer
+		_, _ = buf.ReadFrom(r)
+		done <- buf.String()
+	}()
+	errRun := fn()
+	w.Close()
+	os.Stdout = old
+	out := <-done
+	if errRun != nil {
+		t.Fatalf("command failed: %v\noutput:\n%s", errRun, out)
+	}
+	return out
+}
+
+func TestCmdFigure1Tiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdFigure1([]string{"-networks", "2", "-links", "20", "-txseeds", "2",
+			"-fadeseeds", "2", "-points", "3", "-format", "csv"})
+	})
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 4 { // header + 3 points
+		t.Fatalf("csv lines: %d\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "uniform/rayleigh_mean") {
+		t.Fatalf("header: %s", lines[0])
+	}
+}
+
+func TestCmdFigure1SVG(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdFigure1([]string{"-networks", "1", "-links", "15", "-txseeds", "2",
+			"-fadeseeds", "1", "-points", "3", "-format", "svg"})
+	})
+	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
+		t.Fatalf("not an SVG document:\n%s", out[:120])
+	}
+}
+
+func TestCmdFigure1Formats(t *testing.T) {
+	for _, format := range []string{"md", "ascii"} {
+		out := captureStdout(t, func() error {
+			return cmdFigure1([]string{"-networks", "1", "-links", "15", "-txseeds", "2",
+				"-fadeseeds", "1", "-points", "3", "-format", format})
+		})
+		if len(out) == 0 {
+			t.Fatalf("format %s produced no output", format)
+		}
+	}
+}
+
+func TestCmdFigure1ClusterTopology(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdFigure1([]string{"-networks", "1", "-links", "40", "-txseeds", "2",
+			"-fadeseeds", "1", "-points", "3", "-topology", "cluster", "-format", "csv"})
+	})
+	if !strings.Contains(out, "uniform/rayleigh_mean") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCmdFigure2Tiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdFigure2([]string{"-networks", "2", "-links", "20", "-rounds", "10", "-format", "csv"})
+	})
+	if !strings.Contains(out, "round,non-fading_mean") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCmdFigure2Exp3AndSummary(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdFigure2([]string{"-networks", "2", "-links", "20", "-rounds", "10", "-learner", "exp3"})
+	})
+	for _, want := range []string{"lemma-5 non-fading", "lemma-5 rayleigh", "final mean send prob"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdOptimumTiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdOptimum([]string{"-networks", "2", "-links", "20", "-restarts", "2"})
+	})
+	if !strings.Contains(out, "local-search optimum") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCmdCapacityTiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdCapacity([]string{"-links", "25"})
+	})
+	for _, want := range []string{"greedy uniform", "local search", "power control"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdLatencyTiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdLatency([]string{"-networks", "2", "-links", "20", "-trials", "1"})
+	})
+	for _, want := range []string{"repeated capacity", "ALOHA", "backoff"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdCapacityFromInputFile(t *testing.T) {
+	// Generate a workload with raygen's format and feed it back via -input.
+	dir := t.TempDir()
+	path := dir + "/net.json"
+	cfg := network.Figure1Config()
+	cfg.N = 12
+	net, err := network.Random(cfg, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := netio.SaveFile(path, net); err != nil {
+		t.Fatal(err)
+	}
+	out := captureStdout(t, func() error {
+		return cmdCapacity([]string{"-input", path})
+	})
+	if !strings.Contains(out, "greedy uniform") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// Missing file errors out.
+	if err := cmdCapacity([]string{"-input", dir + "/nope.json"}); err == nil {
+		t.Fatal("missing input accepted")
+	}
+}
+
+func TestCmdProbeTiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdProbe([]string{"-links", "6"})
+	})
+	if !strings.Contains(out, "expected successes") {
+		t.Fatalf("output:\n%s", out)
+	}
+	// 6 links → 6 data rows between header and footer.
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 8 {
+		t.Fatalf("probe printed %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestCmdReductionTiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdReduction([]string{"-networks", "1", "-samples", "20"})
+	})
+	if !strings.Contains(out, "rayleigh / best step") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCmdFadingTiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdFading([]string{"-networks", "1", "-links", "15"})
+	})
+	if !strings.Contains(out, "Rayleigh (paper's model)") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCmdTopologyTiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdTopology([]string{"-side", "3", "-format", "csv"})
+	})
+	if !strings.Contains(out, "grid/non-fading_mean") {
+		t.Fatalf("output:\n%s", out)
+	}
+}
+
+func TestCmdBaselineTiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdBaseline([]string{"-networks", "2", "-links", "30"})
+	})
+	for _, want := range []string{"graph independent set", "SINR violations", "rayleigh replay"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCmdShannonTiny(t *testing.T) {
+	out := captureStdout(t, func() error {
+		return cmdShannon([]string{"-networks", "1", "-links", "15", "-format", "csv"})
+	})
+	if !strings.Contains(out, "shannon/rayleigh_mean") {
+		t.Fatalf("output:\n%s", out)
+	}
+}

@@ -1,0 +1,41 @@
+// Graph models vs SINR truth: the example behind the paper's motivation.
+// A binary conflict graph looks like a reasonable interference abstraction,
+// but it cannot see the ACCUMULATION of many individually-harmless
+// interferers — so its "feasible" schedules break the real SINR constraint,
+// while the SINR-aware algorithms (which the paper then carries to Rayleigh
+// fading) never over-claim.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"rayfade"
+)
+
+func main() {
+	scn, err := rayfade.NewScenario(rayfade.Figure1Workload(), 2.5, 99)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	claimed, valid := scn.ConflictGraphCapacity(0.5)
+	fmt.Printf("conflict-graph independent set: %d links claimed\n", len(claimed))
+	fmt.Printf("  actually SINR-feasible:       %d links (%.0f%% violations)\n",
+		len(valid), 100*float64(len(claimed)-len(valid))/float64(len(claimed)))
+	fmt.Printf("  whole claimed set feasible?   %v\n\n", scn.Feasible(claimed))
+
+	sinrSet := scn.GreedyCapacity()
+	fmt.Printf("SINR-aware greedy:              %d links, all feasible: %v\n",
+		len(sinrSet), scn.Feasible(sinrSet))
+
+	// And only the sound set carries a fading guarantee: Lemma 2 applies to
+	// the non-fading VALUE, which for the graph set is its valid subset.
+	rep := scn.TransferToRayleigh(sinrSet)
+	fmt.Printf("  under Rayleigh fading:        E[successes] = %.1f (floor %.1f)\n",
+		scn.ExpectedRayleighSuccesses(sinrSet), rep.GuaranteedValue)
+
+	fmt.Println("\nthe gap between 'claimed' and 'valid' is interference accumulation —")
+	fmt.Println("exactly what moved the field from graph-based to SINR-based models,")
+	fmt.Println("and what this paper then extends from SINR to Rayleigh fading.")
+}

@@ -1,0 +1,79 @@
+// The paper's reduction, end to end on one instance: Theorem 1's closed
+// form against Monte Carlo, the Lemma-1 sandwich, the Lemma-2 transfer, and
+// the Theorem-2 / Algorithm-1 simulation with its O(log* n) schedule —
+// showing how the Rayleigh optimum is chased by a handful of non-fading
+// probability levels.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"rayfade"
+	"rayfade/internal/fading"
+	"rayfade/internal/rng"
+	"rayfade/internal/stats"
+)
+
+func main() {
+	cfg := rayfade.Figure1Workload()
+	cfg.N = 60
+	scn, err := rayfade.NewScenario(cfg, 2.5, 33)
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := scn.Network().Gains()
+	src := rng.New(1234)
+
+	// Theorem 1: closed form vs Monte Carlo for one link.
+	q := scn.UniformProbs(0.6)
+	link := 5
+	exact := scn.RayleighSuccessProbability(q, link)
+	mc := fading.SuccessProbabilityMC(m, q, 2.5, link, 100000, src)
+	fmt.Printf("Theorem 1, link %d: closed form %.4f, Monte-Carlo %.4f ± %.4f\n",
+		link, exact, mc.Mean, mc.StdErr)
+
+	// Lemma 1: the sandwich across all links.
+	worstGap := 0.0
+	for i := 0; i < scn.N(); i++ {
+		p := scn.RayleighSuccessProbability(q, i)
+		lo, hi := scn.RayleighSuccessBounds(q, i)
+		if lo > p || p > hi {
+			log.Fatalf("Lemma 1 violated at link %d", i)
+		}
+		worstGap = math.Max(worstGap, hi-lo)
+	}
+	fmt.Printf("Lemma 1 holds for all %d links (widest bound gap %.4f)\n", scn.N(), worstGap)
+
+	// Lemma 2: transfer a non-fading solution.
+	set := scn.GreedyCapacity()
+	rep := scn.TransferToRayleigh(set)
+	fmt.Printf("Lemma 2: non-fading value %.0f → guaranteed %.2f, exact %.2f (retention %.0f%%)\n",
+		rep.NonFadingValue, rep.GuaranteedValue, scn.ExpectedRayleighSuccesses(set),
+		100*scn.ExpectedRayleighSuccesses(set)/rep.NonFadingValue)
+
+	// Theorem 2 / Algorithm 1: simulate a Rayleigh probability assignment
+	// with O(log* n) non-fading levels and take the best single step.
+	qOpt := scn.UniformProbs(0.8)
+	steps := scn.SimulationSchedule(qOpt)
+	fmt.Printf("Algorithm 1: %d levels for n=%d (log* tower: %v...)\n",
+		len(steps), scn.N(), firstK(stats.TowerSequence(scn.N()), 4))
+	rayleighValue := fading.ExpectedSuccessesExact(m, qOpt, 2.5)
+	best := scn.BestSimulationStep(qOpt, 300)
+	fmt.Printf("Rayleigh expected value %.2f; best simulation step (level %d, b=%.3g) "+
+		"achieves %.2f ± %.2f in the NON-fading model\n",
+		rayleighValue, best.Step.Level, best.Step.B, best.Value.Mean, best.Value.StdErr)
+	fmt.Printf("→ the non-fading optimum is within a constant × log*(n) of the Rayleigh optimum\n")
+}
+
+func firstK(xs []float64, k int) []float64 {
+	if len(xs) < k {
+		k = len(xs)
+	}
+	out := make([]float64, k)
+	for i := range out {
+		out[i] = math.Round(xs[i]*1000) / 1000
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module rayfade
+
+go 1.22

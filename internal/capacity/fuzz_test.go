@@ -1,0 +1,44 @@
+package capacity
+
+import (
+	"math"
+	"testing"
+
+	"rayfade/internal/network"
+	"rayfade/internal/rng"
+	"rayfade/internal/sinr"
+)
+
+// FuzzGreedyFeasibility: whatever the topology, threshold, noise, and
+// budget, the greedy's output must be feasible and duplicate-free.
+func FuzzGreedyFeasibility(f *testing.F) {
+	f.Add(uint64(1), uint8(40), 2.5, 0.5)
+	f.Add(uint64(9), uint8(3), 0.2, 1.0)
+	f.Add(uint64(77), uint8(100), 10.0, 0.25)
+	f.Fuzz(func(t *testing.T, seed uint64, nRaw uint8, beta, tau float64) {
+		if math.IsNaN(beta) || beta <= 0 || beta > 1e4 {
+			t.Skip()
+		}
+		if math.IsNaN(tau) || tau <= 0 || tau > 1 {
+			t.Skip()
+		}
+		cfg := network.Figure1Config()
+		cfg.N = int(nRaw%100) + 1
+		net, err := network.Random(cfg, rng.New(seed))
+		if err != nil {
+			t.Skip()
+		}
+		m := net.Gains()
+		set := GreedyAffectance(m, beta, tau, LengthOrder(net))
+		seen := map[int]bool{}
+		for _, i := range set {
+			if i < 0 || i >= m.N || seen[i] {
+				t.Fatalf("malformed set %v", set)
+			}
+			seen[i] = true
+		}
+		if !sinr.Feasible(m, set, beta) {
+			t.Fatalf("infeasible greedy set (n=%d β=%g τ=%g)", cfg.N, beta, tau)
+		}
+	})
+}

@@ -1,0 +1,420 @@
+// Package fading implements the Rayleigh-fading interference model of the
+// paper's Sections 2 and 3.
+//
+// Under Rayleigh fading, the strength of sender j's signal at receiver i is
+// an exponentially distributed random variable S(j,i) with mean S̄(j,i),
+// independent across pairs and time slots. The SINR of link i is
+//
+//	γ_i^R = S(i,i) / (Σ_{j ≠ i, transmitting} S(j,i) + ν).
+//
+// The central analytic tool is Theorem 1: with each sender j transmitting
+// independently with probability q_j, the probability that link i reaches
+// SINR β has the closed form
+//
+//	Q_i(q,β) = q_i · exp(−βν/S̄(i,i)) · Π_{j≠i} (1 − β·q_j/(β + S̄(i,i)/S̄(j,i))).
+//
+// Lemma 1 sandwiches Q_i between two exponential bounds that drive the
+// paper's reduction. This package provides the exact form, both bounds, the
+// inequalities of Observation 1 they rest on, Monte-Carlo sampling of
+// realized fading SINRs, and exact/sampled expected-utility evaluation.
+package fading
+
+import (
+	"fmt"
+	"math"
+
+	"rayfade/internal/network"
+	"rayfade/internal/rng"
+	"rayfade/internal/sinr"
+	"rayfade/internal/utility"
+)
+
+// checkProbs panics if q is not a vector of m.N probabilities.
+func checkProbs(m *network.Matrix, q []float64) {
+	if len(q) != m.N {
+		panic(fmt.Sprintf("fading: %d probabilities for %d links", len(q), m.N))
+	}
+	for i, p := range q {
+		if p < 0 || p > 1 || math.IsNaN(p) {
+			panic(fmt.Sprintf("fading: q[%d] = %g is not a probability", i, p))
+		}
+	}
+}
+
+// ExactSuccess returns Q_i(q,β), the Theorem-1 probability that receiver i
+// gets its signal with SINR at least β > 0 when every sender j transmits
+// independently with probability q[j].
+//
+// Edge cases follow the model: a link with zero expected own-signal
+// strength never succeeds; an interferer with zero gain at receiver i
+// contributes a factor of 1.
+func ExactSuccess(m *network.Matrix, q []float64, beta float64, i int) float64 {
+	checkProbs(m, q)
+	if beta <= 0 {
+		panic(fmt.Sprintf("fading: threshold β = %g must be positive", beta))
+	}
+	if q[i] == 0 {
+		return 0
+	}
+	sii := m.G[i][i]
+	if sii == 0 {
+		return 0
+	}
+	p := q[i] * math.Exp(-beta*m.Noise/sii)
+	for j := 0; j < m.N; j++ {
+		if j == i || q[j] == 0 {
+			continue
+		}
+		sji := m.G[j][i]
+		if sji == 0 {
+			continue
+		}
+		p *= 1 - beta*q[j]/(beta+sii/sji)
+	}
+	return p
+}
+
+// ExactSuccessLog returns ln Q_i(q,β), accumulating the product of Theorem 1
+// in log space. For large n the plain product can underflow to zero while
+// the log form retains the magnitude; the simulation harness uses it when
+// comparing success probabilities across thousands of links. Returns -Inf
+// when Q_i = 0.
+func ExactSuccessLog(m *network.Matrix, q []float64, beta float64, i int) float64 {
+	checkProbs(m, q)
+	if beta <= 0 {
+		panic(fmt.Sprintf("fading: threshold β = %g must be positive", beta))
+	}
+	if q[i] == 0 || m.G[i][i] == 0 {
+		return math.Inf(-1)
+	}
+	sii := m.G[i][i]
+	logp := math.Log(q[i]) - beta*m.Noise/sii
+	for j := 0; j < m.N; j++ {
+		if j == i || q[j] == 0 {
+			continue
+		}
+		sji := m.G[j][i]
+		if sji == 0 {
+			continue
+		}
+		factor := 1 - beta*q[j]/(beta+sii/sji)
+		if factor <= 0 {
+			return math.Inf(-1)
+		}
+		logp += math.Log(factor)
+	}
+	return logp
+}
+
+// ExactSuccessEnumerated computes Q_i(q,β) by the proof's own route rather
+// than the product formula: it enumerates every subset S of potential
+// interferers, weighs it by Π_{j∈S} q_j · Π_{j∉S} (1−q_j), and multiplies
+// the conditional success probability
+//
+//	P(γ_i ≥ β | S transmits) = exp(−βν/S̄(i,i)) · Π_{j∈S} 1/(1 + β·S̄(j,i)/S̄(i,i)),
+//
+// which follows from conditioning on the interferers' exponential draws
+// (the appendix argument behind Theorem 1). It is an O(2^n) reference
+// implementation: tests use it to cross-validate ExactSuccess through a
+// completely different derivation. It panics for n > 25.
+func ExactSuccessEnumerated(m *network.Matrix, q []float64, beta float64, i int) float64 {
+	checkProbs(m, q)
+	if beta <= 0 {
+		panic(fmt.Sprintf("fading: threshold β = %g must be positive", beta))
+	}
+	if m.N > 25 {
+		panic(fmt.Sprintf("fading: enumeration limited to n ≤ 25, got %d", m.N))
+	}
+	if q[i] == 0 || m.G[i][i] == 0 {
+		return 0
+	}
+	sii := m.G[i][i]
+	// Collect the interferers that can actually transmit and interfere.
+	var others []int
+	for j := 0; j < m.N; j++ {
+		if j != i && q[j] > 0 && m.G[j][i] > 0 {
+			others = append(others, j)
+		}
+	}
+	baseline := q[i] * math.Exp(-beta*m.Noise/sii)
+	total := 0.0
+	for mask := 0; mask < 1<<len(others); mask++ {
+		weight := 1.0
+		cond := 1.0
+		for b, j := range others {
+			if mask&(1<<b) != 0 {
+				weight *= q[j]
+				cond *= 1 / (1 + beta*m.G[j][i]/sii)
+			} else {
+				weight *= 1 - q[j]
+			}
+		}
+		total += weight * cond
+	}
+	return baseline * total
+}
+
+// LowerBound returns the Lemma-1 lower bound on Q_i(q,β):
+//
+//	q_i · exp(−(β/S̄(i,i)) · (ν + Σ_{j≠i} S̄(j,i)·q_j)).
+func LowerBound(m *network.Matrix, q []float64, beta float64, i int) float64 {
+	checkProbs(m, q)
+	sii := m.G[i][i]
+	if q[i] == 0 {
+		return 0
+	}
+	if sii == 0 {
+		return 0
+	}
+	sum := m.Noise
+	for j := 0; j < m.N; j++ {
+		if j != i {
+			sum += m.G[j][i] * q[j]
+		}
+	}
+	return q[i] * math.Exp(-beta*sum/sii)
+}
+
+// UpperBound returns the Lemma-1 upper bound on Q_i(q,β):
+//
+//	q_i · exp(−βν/S̄(i,i) − Σ_{j≠i} min{1/2, β·S̄(j,i)/(2·S̄(i,i))}·q_j).
+func UpperBound(m *network.Matrix, q []float64, beta float64, i int) float64 {
+	checkProbs(m, q)
+	sii := m.G[i][i]
+	if q[i] == 0 {
+		return 0
+	}
+	if sii == 0 {
+		return 0
+	}
+	expo := -beta * m.Noise / sii
+	for j := 0; j < m.N; j++ {
+		if j == i {
+			continue
+		}
+		expo -= math.Min(0.5, beta*m.G[j][i]/(2*sii)) * q[j]
+	}
+	return q[i] * math.Exp(expo)
+}
+
+// InterferenceSum returns A_i = Σ_{j≠i} min{1, β·S̄(j,i)/S̄(i,i)}·q_j, the
+// normalized expected interference load that drives the proof of Theorem 2
+// (where the level k of Algorithm 1 is chosen with b_k ≈ exp(A_i/2)).
+func InterferenceSum(m *network.Matrix, q []float64, beta float64, i int) float64 {
+	checkProbs(m, q)
+	sii := m.G[i][i]
+	sum := 0.0
+	for j := 0; j < m.N; j++ {
+		if j == i {
+			continue
+		}
+		var ratio float64
+		if sii == 0 {
+			ratio = 1
+		} else {
+			ratio = math.Min(1, beta*m.G[j][i]/sii)
+		}
+		sum += ratio * q[j]
+	}
+	return sum
+}
+
+// Observation1Upper is the first inequality of Observation 1:
+// exp(−xq) ≤ 1 − q/(1/x + 1) for all real x ≥ 0 and q ∈ [0,1].
+// Exposed so tests can pin the analytic backbone of Lemma 1.
+func Observation1Upper(x, q float64) (lhs, rhs float64) {
+	return math.Exp(-x * q), 1 - q/(1/x+1)
+}
+
+// Observation1Lower is the second inequality of Observation 1:
+// 1 − q/(1/x + 1) ≤ exp(−xq/2) for x ∈ (0,1], q ∈ [0,1].
+func Observation1Lower(x, q float64) (lhs, rhs float64) {
+	return 1 - q/(1/x+1), math.Exp(-x * q / 2)
+}
+
+// ExpectedSuccessesExact returns E[#links with SINR ≥ β] = Σ_i Q_i(q,β),
+// the exact expected number of successful transmissions under Rayleigh
+// fading for the given transmission probabilities — the y-axis of the
+// paper's Figure 1 for the fading curves.
+func ExpectedSuccessesExact(m *network.Matrix, q []float64, beta float64) float64 {
+	total := 0.0
+	for i := 0; i < m.N; i++ {
+		total += ExactSuccess(m, q, beta, i)
+	}
+	return total
+}
+
+// ExpectedBinaryValueOfSet returns Σ_{i∈set} Q_i(1_set, β): the exact
+// expected number of successes when exactly the links of set transmit —
+// the Rayleigh-side value of a transferred non-fading solution (Lemma 2).
+func ExpectedBinaryValueOfSet(m *network.Matrix, set []int, beta float64) float64 {
+	q := make([]float64, m.N)
+	for _, i := range set {
+		q[i] = 1
+	}
+	total := 0.0
+	for _, i := range set {
+		total += ExactSuccess(m, q, beta, i)
+	}
+	return total
+}
+
+// SampleSINRs draws one Rayleigh realization: for each transmitting link i
+// (active[i] == true), every transmitting sender's strength at receiver i is
+// drawn as an independent exponential with mean S̄(j,i), and the realized
+// SINR is returned. Inactive links report 0. Cost is O(a·n) for a active
+// links.
+func SampleSINRs(m *network.Matrix, active []bool, src *rng.Source) []float64 {
+	out := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		if !active[i] {
+			continue
+		}
+		interf := m.Noise
+		var own float64
+		for j := 0; j < m.N; j++ {
+			if !active[j] {
+				continue
+			}
+			s := src.Exp(m.G[j][i])
+			if j == i {
+				own = s
+			} else {
+				interf += s
+			}
+		}
+		if interf == 0 {
+			if own > 0 {
+				out[i] = math.Inf(1)
+			}
+			continue
+		}
+		out[i] = own / interf
+	}
+	return out
+}
+
+// SampleSuccesses draws one Rayleigh realization and returns the indices of
+// active links whose realized SINR reaches β.
+func SampleSuccesses(m *network.Matrix, active []bool, beta float64, src *rng.Source) []int {
+	var ok []int
+	vals := SampleSINRs(m, active, src)
+	for i, a := range active {
+		if a && vals[i] >= beta {
+			ok = append(ok, i)
+		}
+	}
+	return ok
+}
+
+// MCResult is a Monte-Carlo estimate with its standard error.
+type MCResult struct {
+	Mean   float64
+	StdErr float64
+	N      int
+}
+
+// ExpectedUtilityMC estimates E[Σ_i u_i(γ_i^R)] for the transmission
+// probability vector q by Monte-Carlo: each sample independently draws the
+// transmitting set from q and a fading realization, then evaluates the
+// utilities. us follows the utility.Sum convention (length 1 broadcasts).
+//
+// For binary utilities, ExpectedSuccessesExact gives the same quantity in
+// closed form; the Monte-Carlo path exists for general utilities (e.g.
+// Shannon), whose expectation has no simple closed form, and as an
+// independent check of Theorem 1 in tests.
+func ExpectedUtilityMC(m *network.Matrix, q []float64, us []utility.Func, samples int, src *rng.Source) MCResult {
+	checkProbs(m, q)
+	if samples <= 0 {
+		panic(fmt.Sprintf("fading: %d samples", samples))
+	}
+	var sum, sumSq float64
+	active := make([]bool, m.N)
+	for s := 0; s < samples; s++ {
+		for i := range active {
+			active[i] = src.Bernoulli(q[i])
+		}
+		vals := SampleSINRs(m, active, src)
+		v := utility.Sum(us, vals)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / float64(samples)
+	variance := sumSq/float64(samples) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return MCResult{
+		Mean:   mean,
+		StdErr: math.Sqrt(variance / float64(samples)),
+		N:      samples,
+	}
+}
+
+// SuccessProbabilityMC estimates Q_i(q,β) by Monte-Carlo, for validating
+// the closed form of Theorem 1.
+func SuccessProbabilityMC(m *network.Matrix, q []float64, beta float64, i int, samples int, src *rng.Source) MCResult {
+	checkProbs(m, q)
+	if samples <= 0 {
+		panic(fmt.Sprintf("fading: %d samples", samples))
+	}
+	hits := 0
+	active := make([]bool, m.N)
+	for s := 0; s < samples; s++ {
+		for k := range active {
+			active[k] = src.Bernoulli(q[k])
+		}
+		if !active[i] {
+			continue
+		}
+		vals := SampleSINRs(m, active, src)
+		if vals[i] >= beta {
+			hits++
+		}
+	}
+	p := float64(hits) / float64(samples)
+	return MCResult{
+		Mean:   p,
+		StdErr: math.Sqrt(p * (1 - p) / float64(samples)),
+		N:      samples,
+	}
+}
+
+// NonFadingSuccessesForProbs draws the transmitting set from q and counts
+// non-fading successes at threshold β; one sample of the Figure-1
+// non-fading curves. It returns the count and the drawn set size.
+func NonFadingSuccessesForProbs(m *network.Matrix, q []float64, beta float64, src *rng.Source) (successes, transmitters int) {
+	checkProbs(m, q)
+	active := make([]bool, m.N)
+	for i := range active {
+		if src.Bernoulli(q[i]) {
+			active[i] = true
+			transmitters++
+		}
+	}
+	return sinr.CountSuccesses(m, active, beta), transmitters
+}
+
+// RayleighSuccessesForProbs draws the transmitting set from q, draws one
+// fading realization, and counts Rayleigh successes at threshold β; one
+// sample of the Figure-1 fading curves.
+func RayleighSuccessesForProbs(m *network.Matrix, q []float64, beta float64, src *rng.Source) (successes, transmitters int) {
+	checkProbs(m, q)
+	active := make([]bool, m.N)
+	for i := range active {
+		if src.Bernoulli(q[i]) {
+			active[i] = true
+			transmitters++
+		}
+	}
+	return len(SampleSuccesses(m, active, beta, src)), transmitters
+}
+
+// UniformProbs returns the probability vector assigning p to all n links.
+func UniformProbs(n int, p float64) []float64 {
+	q := make([]float64, n)
+	for i := range q {
+		q[i] = p
+	}
+	return q
+}

@@ -1,0 +1,411 @@
+// Package latency implements latency minimization: scheduling all n links in
+// as few time slots as possible so that every link succeeds at least once.
+//
+// Two algorithm families from the literature are provided, matching the two
+// classes the paper's Section 4 transforms:
+//
+//   - RepeatedCapacity — maximize the utilization of the first slot with a
+//     capacity algorithm, remove the successful links, recurse [8]. Under
+//     Rayleigh fading the same schedule is replayed with each slot repeated
+//     transform.AlohaRepeats times (ExpandSchedule), preserving per-slot
+//     success probabilities by the Section-4 argument.
+//
+//   - Aloha — the distributed, ALOHA-style contention scheme in the spirit
+//     of Kesselheim–Vöcking [9]: every still-unserved link transmits with a
+//     (small) probability each slot and drops out on success. The fading
+//     variant executes every randomized step AlohaRepeats times.
+//
+// Both run against an abstract SuccessModel so the identical algorithm code
+// drives the non-fading and the Rayleigh-fading experiments.
+package latency
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"rayfade/internal/fading"
+	"rayfade/internal/network"
+	"rayfade/internal/rng"
+	"rayfade/internal/sinr"
+	"rayfade/internal/transform"
+)
+
+// SuccessModel decides which of the currently transmitting links succeed at
+// threshold beta. Implementations exist for both interference models.
+type SuccessModel interface {
+	// Successes returns the indices of active links with SINR ≥ beta for
+	// one slot. Stochastic models draw fresh fading randomness per call.
+	Successes(m *network.Matrix, active []bool, beta float64) []int
+	// Name identifies the model in experiment output.
+	Name() string
+}
+
+// NonFading evaluates successes deterministically from the expected gains.
+type NonFading struct{}
+
+// Successes implements SuccessModel.
+func (NonFading) Successes(m *network.Matrix, active []bool, beta float64) []int {
+	return sinr.Successes(m, active, beta)
+}
+
+// Name implements SuccessModel.
+func (NonFading) Name() string { return "non-fading" }
+
+// Rayleigh draws an exponential fading realization per slot.
+type Rayleigh struct{ Src *rng.Source }
+
+// Successes implements SuccessModel.
+func (r Rayleigh) Successes(m *network.Matrix, active []bool, beta float64) []int {
+	return fading.SampleSuccesses(m, active, beta, r.Src)
+}
+
+// Name implements SuccessModel.
+func (Rayleigh) Name() string { return "rayleigh" }
+
+// ErrUnschedulable reports links that can never succeed (their own signal
+// cannot beat the noise at the threshold), making full-coverage latency
+// minimization impossible in the non-fading model.
+var ErrUnschedulable = errors.New("latency: some links can never reach the threshold")
+
+// CapacityFunc is any single-slot capacity maximizer over a restricted
+// candidate set: it returns a feasible subset of the candidates.
+type CapacityFunc func(m *network.Matrix, beta float64, candidates []int) []int
+
+// GreedyCapacity adapts the affectance greedy of internal/capacity into a
+// CapacityFunc, scanning candidates in the given global order.
+func GreedyCapacity(order []int, tau float64) CapacityFunc {
+	return func(m *network.Matrix, beta float64, candidates []int) []int {
+		inCand := make(map[int]bool, len(candidates))
+		for _, c := range candidates {
+			inCand[c] = true
+		}
+		scan := make([]int, 0, len(candidates))
+		for _, i := range order {
+			if inCand[i] {
+				scan = append(scan, i)
+			}
+		}
+		return greedyRestricted(m, beta, tau, scan)
+	}
+}
+
+// greedyRestricted is the affectance greedy over an explicit scan order,
+// duplicated here (rather than importing internal/capacity) to keep the
+// package dependency graph acyclic: capacity evaluation belongs to the
+// capacity package, slot construction to this one.
+func greedyRestricted(m *network.Matrix, beta, tau float64, scan []int) []int {
+	var selected []int
+	load := map[int]float64{}
+	for _, cand := range scan {
+		if m.G[cand][cand] <= beta*m.Noise || m.G[cand][cand] == 0 {
+			continue
+		}
+		inbound := 0.0
+		ok := true
+		for _, s := range selected {
+			inbound += sinr.AffectanceUncapped(m, beta, s, cand)
+			if inbound > tau {
+				ok = false
+				break
+			}
+			if load[s]+sinr.AffectanceUncapped(m, beta, cand, s) > tau {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		for _, s := range selected {
+			load[s] += sinr.AffectanceUncapped(m, beta, cand, s)
+		}
+		load[cand] = inbound
+		selected = append(selected, cand)
+	}
+	return selected
+}
+
+// RepeatedCapacity builds a non-fading schedule by repeatedly maximizing
+// single-slot capacity among the still-unscheduled links. It returns the
+// slots (each a feasible set). Links that cannot succeed even alone trigger
+// ErrUnschedulable.
+func RepeatedCapacity(m *network.Matrix, beta float64, capFn CapacityFunc) ([][]int, error) {
+	remaining := make([]int, 0, m.N)
+	for i := 0; i < m.N; i++ {
+		if m.G[i][i] < beta*m.Noise || m.G[i][i] == 0 {
+			return nil, fmt.Errorf("%w: link %d", ErrUnschedulable, i)
+		}
+		remaining = append(remaining, i)
+	}
+	var slots [][]int
+	for len(remaining) > 0 {
+		slot := capFn(m, beta, remaining)
+		if len(slot) == 0 {
+			// A correct capacity function can always schedule a lone
+			// viable link; an empty slot means the function is broken.
+			return nil, fmt.Errorf("latency: capacity function returned empty slot with %d links remaining", len(remaining))
+		}
+		if !sinr.Feasible(m, slot, beta) {
+			return nil, fmt.Errorf("latency: capacity function returned infeasible slot %v", slot)
+		}
+		slots = append(slots, slot)
+		scheduled := make(map[int]bool, len(slot))
+		for _, i := range slot {
+			scheduled[i] = true
+		}
+		next := remaining[:0]
+		for _, i := range remaining {
+			if !scheduled[i] {
+				next = append(next, i)
+			}
+		}
+		remaining = next
+	}
+	return slots, nil
+}
+
+// ValidateSchedule checks a (possibly externally produced) schedule against
+// the non-fading model: every link must appear in at least one slot whose
+// set is simultaneously feasible at beta, and no slot may contain
+// out-of-range or duplicate links. It returns nil for a sound schedule.
+func ValidateSchedule(m *network.Matrix, slots [][]int, beta float64) error {
+	served := make([]bool, m.N)
+	for t, slot := range slots {
+		seen := map[int]bool{}
+		for _, i := range slot {
+			if i < 0 || i >= m.N {
+				return fmt.Errorf("latency: slot %d references link %d outside [0,%d)", t, i, m.N)
+			}
+			if seen[i] {
+				return fmt.Errorf("latency: slot %d lists link %d twice", t, i)
+			}
+			seen[i] = true
+		}
+		if !sinr.Feasible(m, slot, beta) {
+			return fmt.Errorf("latency: slot %d is infeasible at β=%g", t, beta)
+		}
+		for _, i := range slot {
+			served[i] = true
+		}
+	}
+	for i, ok := range served {
+		if !ok {
+			return fmt.Errorf("latency: link %d never scheduled", i)
+		}
+	}
+	return nil
+}
+
+// PlaySchedule executes a fixed schedule under a success model and returns
+// the number of slots after which every link has succeeded at least once,
+// along with the per-slot success counts. If the schedule ends with links
+// still unserved, done reports false and slotsUsed is len(slots).
+func PlaySchedule(m *network.Matrix, slots [][]int, beta float64, model SuccessModel) (slotsUsed int, done bool, perSlot []int) {
+	served := make([]bool, m.N)
+	needed := m.N
+	perSlot = make([]int, 0, len(slots))
+	for t, slot := range slots {
+		active := make([]bool, m.N)
+		for _, i := range slot {
+			active[i] = true
+		}
+		succ := model.Successes(m, active, beta)
+		perSlot = append(perSlot, len(succ))
+		for _, i := range succ {
+			if !served[i] {
+				served[i] = true
+				needed--
+			}
+		}
+		if needed == 0 {
+			return t + 1, true, perSlot
+		}
+	}
+	return len(slots), false, perSlot
+}
+
+// RepeatUntilDone replays a base schedule (expanded by `repeats` per slot,
+// the Section-4 transformation) in rounds under a stochastic model until
+// every link has succeeded or maxRounds is exhausted. It returns the total
+// number of slots consumed. This is how a non-fading schedule is deployed
+// under Rayleigh fading: each round every link keeps an independent chance,
+// so the expected number of rounds is O(1) per link and O(log n) for all.
+func RepeatUntilDone(m *network.Matrix, base [][]int, beta float64, repeats, maxRounds int, model SuccessModel) (totalSlots int, done bool) {
+	if repeats <= 0 {
+		panic(fmt.Sprintf("latency: repeats = %d must be positive", repeats))
+	}
+	if maxRounds <= 0 {
+		panic(fmt.Sprintf("latency: maxRounds = %d must be positive", maxRounds))
+	}
+	expanded := transform.ExpandSchedule(base, repeats)
+	served := make([]bool, m.N)
+	needed := m.N
+	for round := 0; round < maxRounds; round++ {
+		for _, slot := range expanded {
+			// Only still-unserved links re-transmit; served ones are done.
+			active := make([]bool, m.N)
+			any := false
+			for _, i := range slot {
+				if !served[i] {
+					active[i] = true
+					any = true
+				}
+			}
+			totalSlots++
+			if !any {
+				continue
+			}
+			for _, i := range model.Successes(m, active, beta) {
+				if !served[i] {
+					served[i] = true
+					needed--
+				}
+			}
+			if needed == 0 {
+				return totalSlots, true
+			}
+		}
+	}
+	return totalSlots, false
+}
+
+// AlohaConfig parameterizes the distributed contention protocol.
+type AlohaConfig struct {
+	// Prob is the per-slot transmission probability of each unserved link.
+	// The paper's Section 4 analyzes probabilities at most 1/2.
+	Prob float64
+	// MaxSlots aborts the run; 0 means 64·n slots.
+	MaxSlots int
+	// Repeats executes each randomized step this many times under a
+	// stochastic model (the Section-4 transformation); use 1 for the
+	// plain non-fading protocol and transform.AlohaRepeats for Rayleigh.
+	Repeats int
+}
+
+// AlohaResult reports a contention-resolution run.
+type AlohaResult struct {
+	// Slots is the number of time slots consumed (counting repeats).
+	Slots int
+	// Done reports whether every link succeeded within the budget.
+	Done bool
+	// PerSlotSuccesses is the number of first-time successes per slot.
+	PerSlotSuccesses []int
+}
+
+// Aloha runs the distributed protocol: in every slot, each unserved link
+// transmits independently with cfg.Prob (its random draw held fixed across
+// the cfg.Repeats executions of the step, which re-randomize only the
+// fading); links that succeed stop transmitting. The same code serves both
+// models through the SuccessModel interface.
+func Aloha(m *network.Matrix, beta float64, cfg AlohaConfig, src *rng.Source, model SuccessModel) AlohaResult {
+	if cfg.Prob <= 0 || cfg.Prob > 1 {
+		panic(fmt.Sprintf("latency: transmission probability %g outside (0,1]", cfg.Prob))
+	}
+	repeats := cfg.Repeats
+	if repeats <= 0 {
+		repeats = 1
+	}
+	maxSlots := cfg.MaxSlots
+	if maxSlots <= 0 {
+		maxSlots = 64 * m.N
+	}
+	served := make([]bool, m.N)
+	needed := m.N
+	res := AlohaResult{}
+	active := make([]bool, m.N)
+	for res.Slots < maxSlots && needed > 0 {
+		// One randomized step: draw the transmitting set among unserved.
+		any := false
+		for i := range active {
+			active[i] = !served[i] && src.Bernoulli(cfg.Prob)
+			any = any || active[i]
+		}
+		for r := 0; r < repeats && res.Slots < maxSlots; r++ {
+			res.Slots++
+			if !any {
+				res.PerSlotSuccesses = append(res.PerSlotSuccesses, 0)
+				continue
+			}
+			newly := 0
+			for _, i := range model.Successes(m, active, beta) {
+				if !served[i] {
+					served[i] = true
+					active[i] = false // do not re-transmit in later repeats
+					newly++
+					needed--
+				}
+			}
+			res.PerSlotSuccesses = append(res.PerSlotSuccesses, newly)
+			if needed == 0 {
+				break
+			}
+		}
+	}
+	res.Done = needed == 0
+	return res
+}
+
+// Path is a multi-hop route: an ordered list of link indices; hop h+1 may
+// only be scheduled after hop h has succeeded (store-and-forward).
+type Path []int
+
+// MultiHop schedules a set of packets along their paths: in every slot the
+// set of "ready" links (each packet's next un-traversed hop) contends via
+// the given capacity function, the chosen feasible subset transmits, and
+// successes advance their packets. It returns the number of slots until all
+// packets arrive, or done=false when maxSlots runs out. This is the
+// concatenation-of-single-hop-schedules construction the paper's Section 4
+// extends to multi-hop scheduling.
+func MultiHop(m *network.Matrix, beta float64, paths []Path, capFn CapacityFunc, maxSlots int, model SuccessModel) (slots int, done bool) {
+	if maxSlots <= 0 {
+		maxSlots = 64 * m.N * (len(paths) + 1)
+	}
+	progress := make([]int, len(paths)) // next hop index per packet
+	remaining := len(paths)
+	for _, p := range paths {
+		if len(p) == 0 {
+			remaining--
+		}
+		for _, link := range p {
+			if link < 0 || link >= m.N {
+				panic(fmt.Sprintf("latency: path link %d out of range", link))
+			}
+		}
+	}
+	for slots = 0; slots < maxSlots && remaining > 0; slots++ {
+		// Collect ready links (dedup: two packets may share a next hop).
+		readySet := map[int]bool{}
+		for k, p := range paths {
+			if progress[k] < len(p) {
+				readySet[p[progress[k]]] = true
+			}
+		}
+		ready := make([]int, 0, len(readySet))
+		for i := range readySet {
+			ready = append(ready, i)
+		}
+		sort.Ints(ready) // deterministic candidate order for any capFn
+		slot := capFn(m, beta, ready)
+		if len(slot) == 0 {
+			continue
+		}
+		active := make([]bool, m.N)
+		for _, i := range slot {
+			active[i] = true
+		}
+		succeeded := map[int]bool{}
+		for _, i := range model.Successes(m, active, beta) {
+			succeeded[i] = true
+		}
+		for k, p := range paths {
+			if progress[k] < len(p) && succeeded[p[progress[k]]] {
+				progress[k]++
+				if progress[k] == len(p) {
+					remaining--
+				}
+			}
+		}
+	}
+	return slots, remaining == 0
+}

@@ -1,0 +1,376 @@
+package latency
+
+import (
+	"errors"
+	"testing"
+
+	"rayfade/internal/capacity"
+	"rayfade/internal/network"
+	"rayfade/internal/rng"
+	"rayfade/internal/sinr"
+	"rayfade/internal/transform"
+)
+
+func fig1Net(t testing.TB, seed uint64, n int) *network.Network {
+	t.Helper()
+	cfg := network.Figure1Config()
+	cfg.N = n
+	net, err := network.Random(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func defaultCapFn(net *network.Network) CapacityFunc {
+	return GreedyCapacity(capacity.LengthOrder(net), capacity.DefaultTau)
+}
+
+func TestRepeatedCapacityCoversAllLinks(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 3} {
+		net := fig1Net(t, seed, 60)
+		m := net.Gains()
+		slots, err := RepeatedCapacity(m, 2.5, defaultCapFn(net))
+		if err != nil {
+			t.Fatal(err)
+		}
+		covered := make([]bool, m.N)
+		for _, slot := range slots {
+			if !sinr.Feasible(m, slot, 2.5) {
+				t.Fatalf("slot %v infeasible", slot)
+			}
+			for _, i := range slot {
+				if covered[i] {
+					t.Fatalf("link %d scheduled twice", i)
+				}
+				covered[i] = true
+			}
+		}
+		for i, c := range covered {
+			if !c {
+				t.Fatalf("link %d never scheduled", i)
+			}
+		}
+		if len(slots) < 2 {
+			t.Fatalf("schedule suspiciously short: %d slots for 60 links", len(slots))
+		}
+	}
+}
+
+func TestRepeatedCapacityUnschedulable(t *testing.T) {
+	net := fig1Net(t, 5, 10)
+	net.Noise = 1e9
+	_, err := RepeatedCapacity(net.Gains(), 2.5, defaultCapFn(net))
+	if !errors.Is(err, ErrUnschedulable) {
+		t.Fatalf("err = %v, want ErrUnschedulable", err)
+	}
+}
+
+func TestRepeatedCapacityDetectsBrokenCapacityFunc(t *testing.T) {
+	net := fig1Net(t, 6, 10)
+	broken := func(m *network.Matrix, beta float64, candidates []int) []int { return nil }
+	if _, err := RepeatedCapacity(net.Gains(), 2.5, broken); err == nil {
+		t.Fatal("empty-slot capacity function not rejected")
+	}
+	dense := fig1Net(t, 6, 100)
+	m := dense.Gains()
+	if sinr.Feasible(m, allLinks(m.N), 2.5) {
+		t.Fatal("test premise broken: 100 simultaneous links should be infeasible")
+	}
+	infeasible := func(m *network.Matrix, beta float64, candidates []int) []int {
+		return candidates // everything at once: infeasible on this workload
+	}
+	if _, err := RepeatedCapacity(m, 2.5, infeasible); err == nil {
+		t.Fatal("infeasible-slot capacity function not rejected")
+	}
+}
+
+func allLinks(n int) []int {
+	set := make([]int, n)
+	for i := range set {
+		set[i] = i
+	}
+	return set
+}
+
+func TestValidateSchedule(t *testing.T) {
+	net := fig1Net(t, 51, 40)
+	m := net.Gains()
+	slots, err := RepeatedCapacity(m, 2.5, defaultCapFn(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ValidateSchedule(m, slots, 2.5); err != nil {
+		t.Fatalf("sound schedule rejected: %v", err)
+	}
+	// Break it in each way.
+	if err := ValidateSchedule(m, slots[1:], 2.5); err == nil {
+		t.Error("missing-link schedule accepted")
+	}
+	bad := append([][]int{{0, 0}}, slots...)
+	if err := ValidateSchedule(m, bad, 2.5); err == nil {
+		t.Error("duplicate-in-slot schedule accepted")
+	}
+	bad = append([][]int{{m.N}}, slots...)
+	if err := ValidateSchedule(m, bad, 2.5); err == nil {
+		t.Error("out-of-range schedule accepted")
+	}
+	all := make([]int, m.N)
+	for i := range all {
+		all[i] = i
+	}
+	if err := ValidateSchedule(m, [][]int{all}, 2.5); err == nil {
+		t.Error("everything-at-once schedule accepted")
+	}
+}
+
+func TestPlayScheduleNonFadingCompletes(t *testing.T) {
+	net := fig1Net(t, 7, 50)
+	m := net.Gains()
+	slots, err := RepeatedCapacity(m, 2.5, defaultCapFn(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	used, done, perSlot := PlaySchedule(m, slots, 2.5, NonFading{})
+	if !done {
+		t.Fatal("non-fading replay of a non-fading schedule must complete")
+	}
+	if used != len(slots) {
+		t.Fatalf("used %d slots of %d; every slot should contribute", used, len(slots))
+	}
+	total := 0
+	for _, c := range perSlot {
+		total += c
+	}
+	if total < m.N {
+		t.Fatalf("only %d successes for %d links", total, m.N)
+	}
+}
+
+func TestPlayScheduleIncomplete(t *testing.T) {
+	net := fig1Net(t, 8, 20)
+	m := net.Gains()
+	// A schedule covering only link 0 cannot serve everyone.
+	used, done, _ := PlaySchedule(m, [][]int{{0}}, 2.5, NonFading{})
+	if done {
+		t.Fatal("partial schedule reported done")
+	}
+	if used != 1 {
+		t.Fatalf("used = %d", used)
+	}
+}
+
+func TestRepeatUntilDoneRayleigh(t *testing.T) {
+	net := fig1Net(t, 9, 40)
+	m := net.Gains()
+	base, err := RepeatedCapacity(m, 2.5, defaultCapFn(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(123)
+	slots, done := RepeatUntilDone(m, base, 2.5, transform.AlohaRepeats, 200, Rayleigh{Src: src})
+	if !done {
+		t.Fatalf("Rayleigh replay did not finish in %d slots", slots)
+	}
+	if slots < len(base) {
+		t.Fatalf("finished in %d slots, less than one expanded round of %d", slots, len(base))
+	}
+}
+
+// The Section-4 bound in action: the expected Rayleigh completion time with
+// 4 repeats should be within a small constant of the non-fading schedule
+// length. We allow a generous factor of 12 to keep the test robust.
+func TestRepeatUntilDoneOverheadBounded(t *testing.T) {
+	net := fig1Net(t, 10, 50)
+	m := net.Gains()
+	base, err := RepeatedCapacity(m, 2.5, defaultCapFn(net))
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(77)
+	totalSlots := 0
+	const trials = 10
+	for trial := 0; trial < trials; trial++ {
+		slots, done := RepeatUntilDone(m, base, 2.5, transform.AlohaRepeats, 500, Rayleigh{Src: src})
+		if !done {
+			t.Fatal("run did not complete")
+		}
+		totalSlots += slots
+	}
+	avg := float64(totalSlots) / trials
+	if avg > 12*float64(len(base)*transform.AlohaRepeats) {
+		t.Fatalf("average Rayleigh latency %.1f ≫ %d-slot non-fading schedule", avg, len(base))
+	}
+}
+
+func TestRepeatUntilDonePanics(t *testing.T) {
+	net := fig1Net(t, 1, 5)
+	m := net.Gains()
+	for _, fn := range []func(){
+		func() { RepeatUntilDone(m, [][]int{{0}}, 2.5, 0, 10, NonFading{}) },
+		func() { RepeatUntilDone(m, [][]int{{0}}, 2.5, 4, 0, NonFading{}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAlohaNonFadingCompletes(t *testing.T) {
+	net := fig1Net(t, 11, 40)
+	m := net.Gains()
+	src := rng.New(5)
+	res := Aloha(m, 2.5, AlohaConfig{Prob: 0.1}, src, NonFading{})
+	if !res.Done {
+		t.Fatalf("ALOHA did not complete in %d slots", res.Slots)
+	}
+	if len(res.PerSlotSuccesses) != res.Slots {
+		t.Fatalf("per-slot record %d entries for %d slots", len(res.PerSlotSuccesses), res.Slots)
+	}
+	total := 0
+	for _, c := range res.PerSlotSuccesses {
+		total += c
+	}
+	if total != m.N {
+		t.Fatalf("first-time successes %d, want %d", total, m.N)
+	}
+}
+
+func TestAlohaRayleighWithRepeats(t *testing.T) {
+	net := fig1Net(t, 12, 40)
+	m := net.Gains()
+	src := rng.New(6)
+	res := Aloha(m, 2.5, AlohaConfig{Prob: 0.1, Repeats: transform.AlohaRepeats}, src, Rayleigh{Src: src})
+	if !res.Done {
+		t.Fatalf("Rayleigh ALOHA did not complete in %d slots", res.Slots)
+	}
+}
+
+func TestAlohaRespectsMaxSlots(t *testing.T) {
+	net := fig1Net(t, 13, 30)
+	net.Noise = 1e9 // nobody can ever succeed
+	m := net.Gains()
+	res := Aloha(m, 2.5, AlohaConfig{Prob: 0.2, MaxSlots: 100}, rng.New(7), NonFading{})
+	if res.Done {
+		t.Fatal("impossible instance reported done")
+	}
+	if res.Slots != 100 {
+		t.Fatalf("Slots = %d, want 100", res.Slots)
+	}
+}
+
+func TestAlohaPanicsOnBadProb(t *testing.T) {
+	net := fig1Net(t, 1, 5)
+	for _, p := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Prob=%g did not panic", p)
+				}
+			}()
+			Aloha(net.Gains(), 2.5, AlohaConfig{Prob: p}, rng.New(1), NonFading{})
+		}()
+	}
+}
+
+// ALOHA latency grows when the transmission probability is pushed toward 1
+// on dense instances (everyone collides). Compare p=0.1 vs p=1.
+func TestAlohaCollapseAtHighProbability(t *testing.T) {
+	net := fig1Net(t, 14, 60)
+	m := net.Gains()
+	low := Aloha(m, 2.5, AlohaConfig{Prob: 0.1, MaxSlots: 20000}, rng.New(8), NonFading{})
+	high := Aloha(m, 2.5, AlohaConfig{Prob: 1, MaxSlots: 20000}, rng.New(9), NonFading{})
+	if !low.Done {
+		t.Fatal("p=0.1 did not complete")
+	}
+	// With p=1 every unserved link always transmits: the set of
+	// transmitters is identical every slot, so successes freeze after the
+	// first slot and the run cannot finish on a dense instance.
+	if high.Done && high.Slots < low.Slots {
+		t.Fatalf("p=1 (%d slots) beat p=0.1 (%d slots) on a dense instance", high.Slots, low.Slots)
+	}
+}
+
+func TestMultiHopDelivers(t *testing.T) {
+	net := fig1Net(t, 15, 30)
+	m := net.Gains()
+	paths := []Path{
+		{0, 5, 9},
+		{3, 7},
+		{12},
+		{},
+	}
+	slots, done := MultiHop(m, 2.5, paths, defaultCapFn(net), 0, NonFading{})
+	if !done {
+		t.Fatalf("multi-hop did not deliver in %d slots", slots)
+	}
+	// Store-and-forward: at least max path length slots needed.
+	if slots < 3 {
+		t.Fatalf("delivered in %d slots; path of 3 hops needs ≥ 3", slots)
+	}
+}
+
+func TestMultiHopRayleigh(t *testing.T) {
+	net := fig1Net(t, 16, 30)
+	m := net.Gains()
+	src := rng.New(10)
+	paths := []Path{{0, 5}, {3, 7, 11}}
+	slots, done := MultiHop(m, 2.5, paths, defaultCapFn(net), 10000, Rayleigh{Src: src})
+	if !done {
+		t.Fatalf("Rayleigh multi-hop did not deliver in %d slots", slots)
+	}
+}
+
+func TestMultiHopSharedHop(t *testing.T) {
+	net := fig1Net(t, 17, 20)
+	m := net.Gains()
+	// Two packets sharing the same next hop: one success advances both.
+	paths := []Path{{4, 8}, {4, 9}}
+	_, done := MultiHop(m, 2.5, paths, defaultCapFn(net), 0, NonFading{})
+	if !done {
+		t.Fatal("shared-hop instance did not deliver")
+	}
+}
+
+func TestMultiHopPanicsOnBadPath(t *testing.T) {
+	net := fig1Net(t, 1, 5)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MultiHop(net.Gains(), 2.5, []Path{{99}}, defaultCapFn(net), 0, NonFading{})
+}
+
+func TestModelNames(t *testing.T) {
+	if (NonFading{}).Name() == "" || (Rayleigh{}).Name() == "" {
+		t.Fatal("model names empty")
+	}
+}
+
+func BenchmarkRepeatedCapacity60(b *testing.B) {
+	net := fig1Net(b, 1, 60)
+	m := net.Gains()
+	fn := defaultCapFn(net)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RepeatedCapacity(m, 2.5, fn); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAlohaNonFading60(b *testing.B) {
+	net := fig1Net(b, 1, 60)
+	m := net.Gains()
+	src := rng.New(2)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Aloha(m, 2.5, AlohaConfig{Prob: 0.1}, src, NonFading{})
+	}
+}

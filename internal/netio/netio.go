@@ -1,0 +1,164 @@
+// Package netio (de)serializes networks as JSON, so workloads can be
+// generated once, archived alongside experiment results, and fed back into
+// the schedulers — the bring-your-own-topology path for downstream users
+// (the paper's reduction makes no assumptions beyond the gain structure, so
+// arbitrary measured topologies are legitimate inputs).
+//
+// The format is deliberately boring: one object with the propagation
+// parameters, a metric tag, and a flat link array. Unknown fields are
+// rejected to catch typos in hand-written files.
+package netio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"rayfade/internal/geom"
+	"rayfade/internal/network"
+)
+
+// FormatVersion identifies the schema; bump on incompatible changes.
+const FormatVersion = 1
+
+type linkJSON struct {
+	SX     float64 `json:"sx"`
+	SY     float64 `json:"sy"`
+	RX     float64 `json:"rx"`
+	RY     float64 `json:"ry"`
+	Power  float64 `json:"power"`
+	Weight float64 `json:"weight,omitempty"`
+}
+
+type networkJSON struct {
+	Version int        `json:"version"`
+	Metric  string     `json:"metric"`
+	Alpha   float64    `json:"alpha"`
+	Noise   float64    `json:"noise"`
+	Links   []linkJSON `json:"links"`
+}
+
+// metricName serializes the supported metrics.
+func metricName(m geom.Metric) (string, error) {
+	switch t := m.(type) {
+	case geom.Euclidean:
+		return "euclidean", nil
+	case geom.Manhattan:
+		return "manhattan", nil
+	case geom.Torus:
+		return fmt.Sprintf("torus:%gx%g", t.W, t.H), nil
+	default:
+		return "", fmt.Errorf("netio: metric %T is not serializable", m)
+	}
+}
+
+// parseMetric inverts metricName.
+func parseMetric(s string) (geom.Metric, error) {
+	switch {
+	case s == "euclidean" || s == "":
+		return geom.Euclidean{}, nil
+	case s == "manhattan":
+		return geom.Manhattan{}, nil
+	case strings.HasPrefix(s, "torus:"):
+		var w, h float64
+		if _, err := fmt.Sscanf(s, "torus:%gx%g", &w, &h); err != nil {
+			return nil, fmt.Errorf("netio: bad torus metric %q", s)
+		}
+		return geom.Torus{W: w, H: h}, nil
+	default:
+		return nil, fmt.Errorf("netio: unknown metric %q", s)
+	}
+}
+
+// Save writes the network as indented JSON.
+func Save(w io.Writer, net *network.Network) error {
+	if err := net.Validate(); err != nil {
+		return fmt.Errorf("netio: refusing to save invalid network: %w", err)
+	}
+	mname, err := metricName(net.Metric)
+	if err != nil {
+		return err
+	}
+	doc := networkJSON{
+		Version: FormatVersion,
+		Metric:  mname,
+		Alpha:   net.Alpha,
+		Noise:   net.Noise,
+		Links:   make([]linkJSON, len(net.Links)),
+	}
+	for i, l := range net.Links {
+		doc.Links[i] = linkJSON{
+			SX: l.Sender.X, SY: l.Sender.Y,
+			RX: l.Receiver.X, RY: l.Receiver.Y,
+			Power: l.Power, Weight: l.Weight,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Load reads a network saved by Save (or hand-written in the same format)
+// and validates it.
+func Load(r io.Reader) (*network.Network, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var doc networkJSON
+	if err := dec.Decode(&doc); err != nil {
+		return nil, fmt.Errorf("netio: decode: %w", err)
+	}
+	if doc.Version != 0 && doc.Version != FormatVersion {
+		return nil, fmt.Errorf("netio: unsupported format version %d", doc.Version)
+	}
+	metric, err := parseMetric(doc.Metric)
+	if err != nil {
+		return nil, err
+	}
+	net := &network.Network{
+		Metric: metric,
+		Alpha:  doc.Alpha,
+		Noise:  doc.Noise,
+		Links:  make([]network.Link, len(doc.Links)),
+	}
+	for i, l := range doc.Links {
+		weight := l.Weight
+		if weight == 0 {
+			weight = 1
+		}
+		net.Links[i] = network.Link{
+			Sender:   geom.Point{X: l.SX, Y: l.SY},
+			Receiver: geom.Point{X: l.RX, Y: l.RY},
+			Power:    l.Power,
+			Weight:   weight,
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("netio: loaded network invalid: %w", err)
+	}
+	return net, nil
+}
+
+// SaveFile writes the network to path (truncating).
+func SaveFile(path string, net *network.Network) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := Save(f, net); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a network from path.
+func LoadFile(path string) (*network.Network, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,175 @@
+package netio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rayfade/internal/geom"
+	"rayfade/internal/network"
+	"rayfade/internal/rng"
+)
+
+func sampleNet(t testing.TB) *network.Network {
+	t.Helper()
+	net, err := network.Random(network.Figure1Config(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestRoundTrip(t *testing.T) {
+	orig := sampleNet(t)
+	var buf bytes.Buffer
+	if err := Save(&buf, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != orig.N() || loaded.Alpha != orig.Alpha || loaded.Noise != orig.Noise {
+		t.Fatalf("header mismatch: %v vs %v", loaded, orig)
+	}
+	for i := range orig.Links {
+		if orig.Links[i] != loaded.Links[i] {
+			t.Fatalf("link %d mismatch: %+v vs %+v", i, orig.Links[i], loaded.Links[i])
+		}
+	}
+	// Gain matrices must agree exactly.
+	a, b := orig.Gains(), loaded.Gains()
+	for j := 0; j < a.N; j++ {
+		for i := 0; i < a.N; i++ {
+			if a.G[j][i] != b.G[j][i] {
+				t.Fatalf("gain (%d,%d) differs after round trip", j, i)
+			}
+		}
+	}
+}
+
+func TestRoundTripMetrics(t *testing.T) {
+	metrics := []geom.Metric{geom.Euclidean{}, geom.Manhattan{}, geom.Torus{W: 500, H: 300}}
+	for _, m := range metrics {
+		net := sampleNet(t)
+		net.Metric = m
+		var buf bytes.Buffer
+		if err := Save(&buf, net); err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		loaded, err := Load(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name(), err)
+		}
+		if loaded.Metric.Name() != m.Name() {
+			t.Fatalf("metric %q became %q", m.Name(), loaded.Metric.Name())
+		}
+	}
+}
+
+func TestSaveRejectsInvalid(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Save(&buf, &network.Network{}); err == nil {
+		t.Fatal("invalid network saved")
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "hello",
+		"unknown field": `{"version":1,"metric":"euclidean","alpha":2,"noise":0,"links":[],"bogus":1}`,
+		"bad metric":    `{"version":1,"metric":"spherical","alpha":2,"noise":0,"links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":1}]}`,
+		"bad version":   `{"version":99,"metric":"euclidean","alpha":2,"noise":0,"links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":1}]}`,
+		"no links":      `{"version":1,"metric":"euclidean","alpha":2,"noise":0,"links":[]}`,
+		"zero power":    `{"version":1,"metric":"euclidean","alpha":2,"noise":0,"links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":0}]}`,
+		"zero length":   `{"version":1,"metric":"euclidean","alpha":2,"noise":0,"links":[{"sx":1,"sy":1,"rx":1,"ry":1,"power":1}]}`,
+	}
+	for name, doc := range cases {
+		if _, err := Load(strings.NewReader(doc)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadDefaults(t *testing.T) {
+	// Hand-written minimal file: no version, no metric, no weights.
+	doc := `{"alpha":2.2,"noise":1e-7,"links":[{"sx":0,"sy":0,"rx":10,"ry":0,"power":2}]}`
+	net, err := Load(strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.Metric.Name() != "euclidean" {
+		t.Fatalf("default metric %q", net.Metric.Name())
+	}
+	if net.Links[0].Weight != 1 {
+		t.Fatalf("default weight %g", net.Links[0].Weight)
+	}
+}
+
+// Property: every generator's output round-trips exactly.
+func TestQuickRoundTripAllGenerators(t *testing.T) {
+	for seed := uint64(0); seed < 10; seed++ {
+		src := rng.New(seed)
+		nets := map[string]*network.Network{}
+		base := network.Figure1Config()
+		base.N = int(seed%20) + 2
+		if n, err := network.Random(base, src); err == nil {
+			nets["uniform"] = n
+		}
+		if n, err := network.RandomClustered(network.ClusterConfig{
+			Clusters: 2, PerChild: 4, Spread: 25, Base: network.Figure1Config(),
+		}, src); err == nil {
+			nets["cluster"] = n
+		}
+		if n, err := network.Grid(3, 3, 50, 10, 2.2, 1e-7, nil); err == nil {
+			nets["grid"] = n
+		}
+		for kind, orig := range nets {
+			var buf bytes.Buffer
+			if err := Save(&buf, orig); err != nil {
+				t.Fatalf("seed %d %s: save: %v", seed, kind, err)
+			}
+			loaded, err := Load(&buf)
+			if err != nil {
+				t.Fatalf("seed %d %s: load: %v", seed, kind, err)
+			}
+			for i := range orig.Links {
+				if orig.Links[i] != loaded.Links[i] {
+					t.Fatalf("seed %d %s: link %d changed", seed, kind, i)
+				}
+			}
+		}
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "net.json")
+	orig := sampleNet(t)
+	if err := SaveFile(path, orig); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loaded.N() != orig.N() {
+		t.Fatalf("N = %d, want %d", loaded.N(), orig.N())
+	}
+	if _, err := LoadFile(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+	if err := SaveFile(filepath.Join(dir, "nodir", "x.json"), orig); err == nil {
+		t.Fatal("unwritable path saved")
+	}
+	// File is valid JSON on disk.
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Contains(raw, []byte(`"version": 1`)) {
+		t.Fatalf("file lacks version tag:\n%s", raw[:120])
+	}
+}

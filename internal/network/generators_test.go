@@ -1,0 +1,169 @@
+package network
+
+import (
+	"math"
+	"testing"
+
+	"rayfade/internal/rng"
+)
+
+func TestRandomPoissonDensity(t *testing.T) {
+	cfg := Figure1Config()
+	src := rng.New(41)
+	intensity := 1e-4 // expected 100 links on the 1000×1000 area
+	var total int
+	const draws = 50
+	for d := 0; d < draws; d++ {
+		net, err := RandomPoisson(cfg, intensity, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := net.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		total += net.N()
+	}
+	avg := float64(total) / draws
+	if math.Abs(avg-100) > 10 {
+		t.Fatalf("average Poisson link count %.1f, want about 100", avg)
+	}
+}
+
+func TestRandomPoissonNeverEmpty(t *testing.T) {
+	cfg := Figure1Config()
+	src := rng.New(43)
+	// Mean 0.2 links: most raw draws are empty; the generator must
+	// zero-truncate rather than fail.
+	for d := 0; d < 20; d++ {
+		net, err := RandomPoisson(cfg, 2e-7, src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if net.N() == 0 {
+			t.Fatal("empty Poisson network returned")
+		}
+	}
+}
+
+func TestRandomPoissonErrors(t *testing.T) {
+	cfg := Figure1Config()
+	src := rng.New(1)
+	if _, err := RandomPoisson(cfg, 0, src); err == nil {
+		t.Fatal("zero intensity accepted")
+	}
+	if _, err := RandomPoisson(cfg, 1e3, src); err == nil {
+		t.Fatal("absurd intensity accepted")
+	}
+	bad := cfg
+	bad.Area.X1 = bad.Area.X0
+	if _, err := RandomPoisson(bad, 1e-4, src); err == nil {
+		t.Fatal("degenerate area accepted")
+	}
+}
+
+func TestRandomClustered(t *testing.T) {
+	cc := ClusterConfig{
+		Clusters: 5,
+		PerChild: 8,
+		Spread:   25,
+		Base:     Figure1Config(),
+	}
+	net, err := RandomClustered(cc, rng.New(45))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if net.N() != 40 {
+		t.Fatalf("N = %d, want 40", net.N())
+	}
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, l := range net.Links {
+		if !cc.Base.Area.Contains(l.Receiver) {
+			t.Fatalf("receiver %d outside area", i)
+		}
+		d := l.Length(net.Metric)
+		if d < cc.Base.DMin || d > cc.Base.DMax {
+			t.Fatalf("link %d length %g outside range", i, d)
+		}
+	}
+}
+
+// Clustered deployments must actually cluster: the mean nearest-neighbour
+// distance between receivers should be clearly below that of a uniform
+// deployment with the same count.
+func TestRandomClusteredIsClustered(t *testing.T) {
+	base := Figure1Config()
+	cc := ClusterConfig{Clusters: 4, PerChild: 25, Spread: 20, Base: base}
+	src := rng.New(47)
+	clustered, err := RandomClustered(cc, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniCfg := base
+	uniCfg.N = clustered.N()
+	uniform, err := Random(uniCfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nn := func(n *Network) float64 {
+		total := 0.0
+		for i := range n.Links {
+			best := math.Inf(1)
+			for j := range n.Links {
+				if i == j {
+					continue
+				}
+				if d := n.Metric.Dist(n.Links[i].Receiver, n.Links[j].Receiver); d < best {
+					best = d
+				}
+			}
+			total += best
+		}
+		return total / float64(n.N())
+	}
+	if c, u := nn(clustered), nn(uniform); c >= u/2 {
+		t.Fatalf("clustered NN distance %.1f not clearly below uniform %.1f", c, u)
+	}
+}
+
+func TestRandomClusteredErrors(t *testing.T) {
+	base := Figure1Config()
+	src := rng.New(1)
+	cases := []ClusterConfig{
+		{Clusters: 0, PerChild: 5, Spread: 10, Base: base},
+		{Clusters: 2, PerChild: 0, Spread: 10, Base: base},
+		{Clusters: 2, PerChild: 5, Spread: 0, Base: base},
+	}
+	for i, cc := range cases {
+		if _, err := RandomClustered(cc, src); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	badArea := ClusterConfig{Clusters: 2, PerChild: 5, Spread: 10, Base: base}
+	badArea.Base.Area.X1 = badArea.Base.Area.X0
+	if _, err := RandomClustered(badArea, src); err == nil {
+		t.Error("degenerate area accepted")
+	}
+	badDist := ClusterConfig{Clusters: 2, PerChild: 5, Spread: 10, Base: base}
+	badDist.Base.DMax = badDist.Base.DMin
+	if _, err := RandomClustered(badDist, src); err == nil {
+		t.Error("degenerate distance range accepted")
+	}
+	badAlpha := ClusterConfig{Clusters: 2, PerChild: 5, Spread: 10, Base: base}
+	badAlpha.Base.Alpha = 0
+	if _, err := RandomClustered(badAlpha, src); err == nil {
+		t.Error("zero alpha accepted")
+	}
+}
+
+func BenchmarkRandomClustered(b *testing.B) {
+	cc := ClusterConfig{Clusters: 10, PerChild: 10, Spread: 30, Base: Figure1Config()}
+	src := rng.New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := RandomClustered(cc, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

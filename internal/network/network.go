@@ -1,0 +1,407 @@
+// Package network models sets of communication links — sender/receiver
+// pairs with transmission powers — and derives from them the matrix of
+// expected received signal strengths S̄(j,i) that both interference models
+// consume.
+//
+// In the paper's notation (Section 2), a network is n links (s_1,r_1) ...
+// (s_n,r_n). Under the standard geometric assumption, the expected strength
+// of sender j's signal at receiver i is
+//
+//	S̄(j,i) = p_j / d(s_j, r_i)^α
+//
+// for transmission power p_j and path-loss exponent α. The non-fading model
+// uses S̄(j,i) directly; the Rayleigh-fading model draws an exponential
+// random variable with this mean. Everything downstream (SINR evaluation,
+// success probabilities, scheduling algorithms) works from the Matrix type
+// produced here, so non-geometric gain matrices can be injected for tests —
+// the paper's reduction does not require geometry, only non-negative means.
+package network
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rayfade/internal/geom"
+	"rayfade/internal/rng"
+)
+
+// Link is one communication request: a sender that wants to transmit to a
+// receiver with a fixed power. Weight is the link's value in weighted
+// capacity maximization (1 for the standard unweighted objective).
+type Link struct {
+	Sender   geom.Point
+	Receiver geom.Point
+	Power    float64
+	Weight   float64
+}
+
+// Length returns the sender-receiver distance under metric m.
+func (l Link) Length(m geom.Metric) float64 { return m.Dist(l.Sender, l.Receiver) }
+
+// Network is a set of links embedded in a metric space with a common
+// path-loss exponent and ambient noise power.
+type Network struct {
+	Links  []Link
+	Metric geom.Metric
+	Alpha  float64 // path-loss exponent α > 0
+	Noise  float64 // ambient noise ν ≥ 0
+}
+
+// N returns the number of links.
+func (n *Network) N() int { return len(n.Links) }
+
+// Validate reports structural problems that would make downstream
+// computations meaningless: no links, non-positive powers, bad exponents,
+// negative noise, or zero-length links (which give infinite gain).
+func (n *Network) Validate() error {
+	if len(n.Links) == 0 {
+		return errors.New("network: no links")
+	}
+	if n.Metric == nil {
+		return errors.New("network: nil metric")
+	}
+	if !(n.Alpha > 0) {
+		return fmt.Errorf("network: path-loss exponent α = %g must be positive", n.Alpha)
+	}
+	if n.Noise < 0 || math.IsNaN(n.Noise) || math.IsInf(n.Noise, 0) {
+		return fmt.Errorf("network: noise ν = %g must be finite and non-negative", n.Noise)
+	}
+	for i, l := range n.Links {
+		if !(l.Power > 0) || math.IsInf(l.Power, 0) {
+			return fmt.Errorf("network: link %d has invalid power %g", i, l.Power)
+		}
+		if l.Weight < 0 {
+			return fmt.Errorf("network: link %d has negative weight %g", i, l.Weight)
+		}
+		if l.Length(n.Metric) <= 0 {
+			return fmt.Errorf("network: link %d has non-positive length", i)
+		}
+	}
+	return nil
+}
+
+// Lengths returns the sender-receiver distance of every link.
+func (n *Network) Lengths() []float64 {
+	ls := make([]float64, len(n.Links))
+	for i, l := range n.Links {
+		ls[i] = l.Length(n.Metric)
+	}
+	return ls
+}
+
+// Delta returns Δ, the ratio between the longest and shortest link. Several
+// approximation bounds in the literature (e.g. the O(log Δ) bound for
+// uniform powers) are parameterized by it.
+func (n *Network) Delta() float64 {
+	if len(n.Links) == 0 {
+		return 0
+	}
+	lo, hi := math.Inf(1), 0.0
+	for _, d := range n.Lengths() {
+		lo = math.Min(lo, d)
+		hi = math.Max(hi, d)
+	}
+	return hi / lo
+}
+
+// Clone returns a deep copy of the network (the metric, being stateless, is
+// shared).
+func (n *Network) Clone() *Network {
+	c := *n
+	c.Links = append([]Link(nil), n.Links...)
+	return &c
+}
+
+// Matrix is the n×n matrix of expected received signal strengths:
+// Matrix.G[j][i] = S̄(j,i), the mean strength of sender j's signal at
+// receiver i. Row index = sender, column index = receiver, matching the
+// paper's subscript order S̄_{j,i}.
+type Matrix struct {
+	N     int
+	G     [][]float64
+	Noise float64
+	// Weights carries the links' weights so that algorithms operating
+	// purely on the matrix can still optimize weighted objectives.
+	Weights []float64
+}
+
+// Gains computes the expected-strength matrix of the network:
+// G[j][i] = p_j / d(s_j, r_i)^α.
+func (n *Network) Gains() *Matrix {
+	size := len(n.Links)
+	m := &Matrix{
+		N:       size,
+		G:       make([][]float64, size),
+		Noise:   n.Noise,
+		Weights: make([]float64, size),
+	}
+	backing := make([]float64, size*size)
+	for j := range m.G {
+		m.G[j], backing = backing[:size], backing[size:]
+		pj := n.Links[j].Power
+		for i := 0; i < size; i++ {
+			d := n.Metric.Dist(n.Links[j].Sender, n.Links[i].Receiver)
+			m.G[j][i] = pj * geom.PathLoss(d, n.Alpha)
+		}
+	}
+	for i, l := range n.Links {
+		w := l.Weight
+		if w == 0 {
+			w = 1
+		}
+		m.Weights[i] = w
+	}
+	return m
+}
+
+// NewMatrix builds a Matrix directly from gain values; g[j][i] is the mean
+// strength of sender j at receiver i. It is the injection point for
+// non-geometric instances (the paper's reduction needs only non-negative
+// means). Weights default to 1.
+func NewMatrix(g [][]float64, noise float64) (*Matrix, error) {
+	n := len(g)
+	if n == 0 {
+		return nil, errors.New("network: empty gain matrix")
+	}
+	m := &Matrix{N: n, G: make([][]float64, n), Noise: noise, Weights: make([]float64, n)}
+	for j, row := range g {
+		if len(row) != n {
+			return nil, fmt.Errorf("network: gain row %d has length %d, want %d", j, len(row), n)
+		}
+		for i, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return nil, fmt.Errorf("network: gain G[%d][%d] = %g invalid", j, i, v)
+			}
+		}
+		m.G[j] = append([]float64(nil), row...)
+	}
+	if noise < 0 || math.IsNaN(noise) || math.IsInf(noise, 0) {
+		return nil, fmt.Errorf("network: invalid noise %g", noise)
+	}
+	for i := range m.Weights {
+		m.Weights[i] = 1
+	}
+	return m, nil
+}
+
+// Validate checks the matrix for NaN, negative entries, and shape errors.
+func (m *Matrix) Validate() error {
+	if m.N == 0 || len(m.G) != m.N {
+		return fmt.Errorf("network: matrix shape N=%d rows=%d", m.N, len(m.G))
+	}
+	for j, row := range m.G {
+		if len(row) != m.N {
+			return fmt.Errorf("network: row %d has length %d", j, len(row))
+		}
+		for i, v := range row {
+			if v < 0 || math.IsNaN(v) {
+				return fmt.Errorf("network: G[%d][%d] = %g invalid", j, i, v)
+			}
+		}
+	}
+	if m.Noise < 0 {
+		return fmt.Errorf("network: negative noise %g", m.Noise)
+	}
+	return nil
+}
+
+// PowerAssignment maps a link to its transmission power. The paper's
+// transformations never modify powers, so an assignment is fixed before any
+// algorithm runs; the power-control algorithm of [6] chooses its own powers
+// and overrides whatever assignment the network started with.
+type PowerAssignment interface {
+	// Power returns the transmission power for a link of length d.
+	Power(d float64) float64
+	// Name identifies the assignment in experiment output.
+	Name() string
+}
+
+// UniformPower assigns every link the same power P. The paper's Figure 1
+// uses UniformPower{P: 2}.
+type UniformPower struct{ P float64 }
+
+// Power implements PowerAssignment.
+func (u UniformPower) Power(float64) float64 { return u.P }
+
+// Name implements PowerAssignment.
+func (u UniformPower) Name() string { return fmt.Sprintf("uniform(%g)", u.P) }
+
+// SquareRootPower assigns a link of length d the power Scale·sqrt(d^α),
+// the "square-root" (mean) power assignment of [4]; the paper's Figure 1
+// uses Scale = 2 and α = 2.2.
+type SquareRootPower struct {
+	Scale float64
+	Alpha float64
+}
+
+// Power implements PowerAssignment.
+func (s SquareRootPower) Power(d float64) float64 {
+	return s.Scale * math.Sqrt(math.Pow(d, s.Alpha))
+}
+
+// Name implements PowerAssignment.
+func (s SquareRootPower) Name() string { return fmt.Sprintf("sqrt(scale=%g,α=%g)", s.Scale, s.Alpha) }
+
+// LinearPower assigns a link of length d the power Scale·d^α, which makes
+// every link's received signal strength equal to Scale — the classic
+// "linear" assignment.
+type LinearPower struct {
+	Scale float64
+	Alpha float64
+}
+
+// Power implements PowerAssignment.
+func (l LinearPower) Power(d float64) float64 { return l.Scale * math.Pow(d, l.Alpha) }
+
+// Name implements PowerAssignment.
+func (l LinearPower) Name() string { return fmt.Sprintf("linear(scale=%g,α=%g)", l.Scale, l.Alpha) }
+
+// PowerFunc adapts a plain function to a PowerAssignment.
+type PowerFunc struct {
+	F     func(d float64) float64
+	Label string
+}
+
+// Power implements PowerAssignment.
+func (p PowerFunc) Power(d float64) float64 { return p.F(d) }
+
+// Name implements PowerAssignment.
+func (p PowerFunc) Name() string { return p.Label }
+
+// ApplyPower sets every link's power according to the assignment and
+// returns the network for chaining.
+func (n *Network) ApplyPower(pa PowerAssignment) *Network {
+	for i := range n.Links {
+		n.Links[i].Power = pa.Power(n.Links[i].Length(n.Metric))
+	}
+	return n
+}
+
+// Config describes the random-network workload of the paper's Section 7:
+// receivers placed uniformly at random on a plane, each sender at a uniform
+// random angle and uniform random distance from its receiver.
+type Config struct {
+	N          int         // number of links
+	Area       geom.Rect   // deployment area for receivers
+	DMin, DMax float64     // sender-receiver distance range
+	Alpha      float64     // path-loss exponent
+	Noise      float64     // ambient noise ν
+	Metric     geom.Metric // defaults to Euclidean
+	Power      PowerAssignment
+}
+
+// Figure1Config returns the exact workload of the paper's Figure 1:
+// 100 links on a 1000×1000 plane, link lengths in [20,40], α = 2.2,
+// ν = 4e-7, uniform power 2.
+func Figure1Config() Config {
+	return Config{
+		N:     100,
+		Area:  geom.Square(1000),
+		DMin:  20,
+		DMax:  40,
+		Alpha: 2.2,
+		Noise: 4e-7,
+		Power: UniformPower{P: 2},
+	}
+}
+
+// Figure2Config returns the workload of the paper's Figure 2: 200 links,
+// link lengths in (0,100], α = 2.1, ν = 0, uniform power 2.
+func Figure2Config() Config {
+	return Config{
+		N:     200,
+		Area:  geom.Square(1000),
+		DMin:  0,
+		DMax:  100,
+		Alpha: 2.1,
+		Noise: 0,
+		Power: UniformPower{P: 2},
+	}
+}
+
+// Random draws a network from the configuration using src. Receivers are
+// uniform over the area; each sender sits at a uniformly random angle and a
+// uniformly random distance in (DMin, DMax] from its receiver (the lower
+// endpoint is open so that DMin = 0, as in Figure 2, cannot produce a
+// zero-length link). Senders may fall outside the area, matching the paper's
+// construction, which constrains only receivers.
+func Random(cfg Config, src *rng.Source) (*Network, error) {
+	if cfg.N <= 0 {
+		return nil, fmt.Errorf("network: config.N = %d must be positive", cfg.N)
+	}
+	if !cfg.Area.Valid() {
+		return nil, fmt.Errorf("network: invalid deployment area %+v", cfg.Area)
+	}
+	if cfg.DMin < 0 || cfg.DMax <= cfg.DMin {
+		return nil, fmt.Errorf("network: invalid distance range [%g,%g]", cfg.DMin, cfg.DMax)
+	}
+	if !(cfg.Alpha > 0) {
+		return nil, fmt.Errorf("network: invalid α = %g", cfg.Alpha)
+	}
+	metric := cfg.Metric
+	if metric == nil {
+		metric = geom.Euclidean{}
+	}
+	pa := cfg.Power
+	if pa == nil {
+		pa = UniformPower{P: 1}
+	}
+	net := &Network{
+		Links:  make([]Link, cfg.N),
+		Metric: metric,
+		Alpha:  cfg.Alpha,
+		Noise:  cfg.Noise,
+	}
+	for i := range net.Links {
+		recv := geom.Point{
+			X: src.UniformRange(cfg.Area.X0, cfg.Area.X1),
+			Y: src.UniformRange(cfg.Area.Y0, cfg.Area.Y1),
+		}
+		angle := src.UniformRange(0, 2*math.Pi)
+		dist := cfg.DMin + (cfg.DMax-cfg.DMin)*src.Float64Open()
+		sender := recv.PolarOffset(angle, dist)
+		net.Links[i] = Link{
+			Sender:   sender,
+			Receiver: recv,
+			Power:    pa.Power(dist),
+			Weight:   1,
+		}
+	}
+	return net, nil
+}
+
+// Grid builds a deterministic rows×cols network: receivers on a regular
+// grid with the given spacing, each sender offset east by linkLen. Regular
+// topologies of this kind are the deterministic counterpart to Random and
+// are convenient for tests and worked examples (cf. the regular-topology
+// throughput analyses the paper cites).
+func Grid(rows, cols int, spacing, linkLen, alpha, noise float64, pa PowerAssignment) (*Network, error) {
+	if rows <= 0 || cols <= 0 {
+		return nil, fmt.Errorf("network: grid %dx%d invalid", rows, cols)
+	}
+	if spacing <= 0 || linkLen <= 0 {
+		return nil, fmt.Errorf("network: grid spacing %g / link length %g invalid", spacing, linkLen)
+	}
+	if pa == nil {
+		pa = UniformPower{P: 1}
+	}
+	net := &Network{
+		Links:  make([]Link, 0, rows*cols),
+		Metric: geom.Euclidean{},
+		Alpha:  alpha,
+		Noise:  noise,
+	}
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			recv := geom.Point{X: float64(c) * spacing, Y: float64(r) * spacing}
+			net.Links = append(net.Links, Link{
+				Sender:   recv.Add(geom.Point{X: linkLen}),
+				Receiver: recv,
+				Power:    pa.Power(linkLen),
+				Weight:   1,
+			})
+		}
+	}
+	return net, nil
+}

@@ -1,0 +1,441 @@
+package network
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rayfade/internal/geom"
+	"rayfade/internal/rng"
+)
+
+func twoLinkNet() *Network {
+	// Link 0: sender (0,0) → receiver (1,0); link 1: sender (10,0) → (11,0).
+	return &Network{
+		Links: []Link{
+			{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 1, Y: 0}, Power: 1, Weight: 1},
+			{Sender: geom.Point{X: 10, Y: 0}, Receiver: geom.Point{X: 11, Y: 0}, Power: 1, Weight: 1},
+		},
+		Metric: geom.Euclidean{},
+		Alpha:  2,
+		Noise:  0.01,
+	}
+}
+
+func TestLinkLength(t *testing.T) {
+	l := Link{Sender: geom.Point{X: 0, Y: 0}, Receiver: geom.Point{X: 3, Y: 4}}
+	if got := l.Length(geom.Euclidean{}); got != 5 {
+		t.Fatalf("Length = %g", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := twoLinkNet().Validate(); err != nil {
+		t.Fatalf("valid network rejected: %v", err)
+	}
+	cases := map[string]func(*Network){
+		"no links":       func(n *Network) { n.Links = nil },
+		"nil metric":     func(n *Network) { n.Metric = nil },
+		"zero alpha":     func(n *Network) { n.Alpha = 0 },
+		"negative noise": func(n *Network) { n.Noise = -1 },
+		"zero power":     func(n *Network) { n.Links[0].Power = 0 },
+		"neg weight":     func(n *Network) { n.Links[1].Weight = -2 },
+		"zero length":    func(n *Network) { n.Links[0].Sender = n.Links[0].Receiver },
+		"inf noise":      func(n *Network) { n.Noise = math.Inf(1) },
+	}
+	for name, mutate := range cases {
+		n := twoLinkNet()
+		mutate(n)
+		if err := n.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted broken network", name)
+		}
+	}
+}
+
+func TestGains(t *testing.T) {
+	n := twoLinkNet()
+	m := n.Gains()
+	if m.N != 2 {
+		t.Fatalf("N = %d", m.N)
+	}
+	// Own-signal gains: distance 1, power 1, α=2 → 1.
+	if m.G[0][0] != 1 || m.G[1][1] != 1 {
+		t.Fatalf("diagonal gains = %g, %g", m.G[0][0], m.G[1][1])
+	}
+	// Cross gain sender 0 → receiver 1: distance 11.
+	want := math.Pow(11, -2)
+	if math.Abs(m.G[0][1]-want) > 1e-15 {
+		t.Fatalf("G[0][1] = %g, want %g", m.G[0][1], want)
+	}
+	// Cross gain sender 1 → receiver 0: distance 9.
+	want = math.Pow(9, -2)
+	if math.Abs(m.G[1][0]-want) > 1e-15 {
+		t.Fatalf("G[1][0] = %g, want %g", m.G[1][0], want)
+	}
+	if m.Noise != 0.01 {
+		t.Fatalf("Noise = %g", m.Noise)
+	}
+	if m.Weights[0] != 1 || m.Weights[1] != 1 {
+		t.Fatalf("Weights = %v", m.Weights)
+	}
+}
+
+func TestGainsScaleWithPower(t *testing.T) {
+	n := twoLinkNet()
+	n.Links[0].Power = 5
+	m := n.Gains()
+	if m.G[0][0] != 5 {
+		t.Fatalf("G[0][0] = %g, want 5", m.G[0][0])
+	}
+	// Receiver-side gains of sender 1 unaffected.
+	if m.G[1][1] != 1 {
+		t.Fatalf("G[1][1] = %g", m.G[1][1])
+	}
+}
+
+func TestGainsZeroWeightDefaultsToOne(t *testing.T) {
+	n := twoLinkNet()
+	n.Links[0].Weight = 0
+	if m := n.Gains(); m.Weights[0] != 1 {
+		t.Fatalf("zero weight should default to 1, got %g", m.Weights[0])
+	}
+}
+
+func TestNewMatrix(t *testing.T) {
+	m, err := NewMatrix([][]float64{{1, 0.5}, {0.25, 2}}, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 2 || m.G[1][0] != 0.25 {
+		t.Fatalf("matrix = %+v", m)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewMatrixRejectsBadInput(t *testing.T) {
+	if _, err := NewMatrix(nil, 0); err == nil {
+		t.Error("empty matrix accepted")
+	}
+	if _, err := NewMatrix([][]float64{{1, 2}}, 0); err == nil {
+		t.Error("ragged matrix accepted")
+	}
+	if _, err := NewMatrix([][]float64{{-1}}, 0); err == nil {
+		t.Error("negative gain accepted")
+	}
+	if _, err := NewMatrix([][]float64{{1}}, -1); err == nil {
+		t.Error("negative noise accepted")
+	}
+	if _, err := NewMatrix([][]float64{{math.NaN()}}, 0); err == nil {
+		t.Error("NaN gain accepted")
+	}
+}
+
+func TestMatrixValidateCatchesCorruption(t *testing.T) {
+	m, _ := NewMatrix([][]float64{{1, 1}, {1, 1}}, 0)
+	m.G[0][1] = math.NaN()
+	if err := m.Validate(); err == nil {
+		t.Error("NaN not caught")
+	}
+	m, _ = NewMatrix([][]float64{{1}}, 0)
+	m.Noise = -5
+	if err := m.Validate(); err == nil {
+		t.Error("negative noise not caught")
+	}
+}
+
+func TestPowerAssignments(t *testing.T) {
+	u := UniformPower{P: 2}
+	if u.Power(10) != 2 || u.Power(1000) != 2 {
+		t.Fatal("uniform power varies with distance")
+	}
+	s := SquareRootPower{Scale: 2, Alpha: 2.2}
+	want := 2 * math.Sqrt(math.Pow(30, 2.2))
+	if got := s.Power(30); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("sqrt power = %g, want %g", got, want)
+	}
+	l := LinearPower{Scale: 3, Alpha: 2}
+	if got := l.Power(4); got != 48 {
+		t.Fatalf("linear power = %g, want 48", got)
+	}
+	f := PowerFunc{F: func(d float64) float64 { return d + 1 }, Label: "affine"}
+	if f.Power(2) != 3 || f.Name() != "affine" {
+		t.Fatal("PowerFunc misbehaved")
+	}
+	for _, pa := range []PowerAssignment{u, s, l} {
+		if pa.Name() == "" {
+			t.Fatal("empty assignment name")
+		}
+	}
+}
+
+// Linear power makes every link's own received signal strength equal to the
+// scale constant — a useful invariant to pin down the formula.
+func TestLinearPowerEqualizesReceivedStrength(t *testing.T) {
+	src := rng.New(1)
+	cfg := Figure1Config()
+	cfg.Power = LinearPower{Scale: 7, Alpha: cfg.Alpha}
+	n, err := Random(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := n.Gains()
+	for i := 0; i < m.N; i++ {
+		if math.Abs(m.G[i][i]-7) > 1e-9 {
+			t.Fatalf("link %d received strength %g, want 7", i, m.G[i][i])
+		}
+	}
+}
+
+func TestApplyPower(t *testing.T) {
+	n := twoLinkNet()
+	n.ApplyPower(UniformPower{P: 9})
+	for i, l := range n.Links {
+		if l.Power != 9 {
+			t.Fatalf("link %d power = %g", i, l.Power)
+		}
+	}
+	n.ApplyPower(LinearPower{Scale: 1, Alpha: 2})
+	if math.Abs(n.Links[0].Power-1) > 1e-12 { // length 1, 1·1^2
+		t.Fatalf("linear power on unit link = %g", n.Links[0].Power)
+	}
+}
+
+func TestRandomRespectsConfig(t *testing.T) {
+	src := rng.New(99)
+	cfg := Figure1Config()
+	n, err := Random(cfg, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if n.N() != 100 {
+		t.Fatalf("N = %d", n.N())
+	}
+	for i, l := range n.Links {
+		if !cfg.Area.Contains(l.Receiver) {
+			t.Fatalf("receiver %d outside area: %v", i, l.Receiver)
+		}
+		d := l.Length(n.Metric)
+		if d < cfg.DMin || d > cfg.DMax {
+			t.Fatalf("link %d length %g outside [%g,%g]", i, d, cfg.DMin, cfg.DMax)
+		}
+		if l.Power != 2 {
+			t.Fatalf("link %d power %g, want 2", i, l.Power)
+		}
+	}
+}
+
+func TestRandomDeterministicPerSeed(t *testing.T) {
+	a, err := Random(Figure1Config(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Random(Figure1Config(), rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link %d differs across identical seeds", i)
+		}
+	}
+	c, err := Random(Figure1Config(), rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Links[0] == c.Links[0] {
+		t.Fatal("different seeds produced identical first link")
+	}
+}
+
+func TestRandomOpenLowerDistanceBound(t *testing.T) {
+	// Figure 2 uses DMin = 0; the generator must never emit a zero-length
+	// link (infinite gain).
+	cfg := Figure2Config()
+	cfg.N = 2000
+	n, err := Random(cfg, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, d := range n.Lengths() {
+		if d <= 0 || d > 100 {
+			t.Fatalf("link %d length %g outside (0,100]", i, d)
+		}
+	}
+}
+
+func TestRandomRejectsBadConfig(t *testing.T) {
+	src := rng.New(1)
+	bad := []Config{
+		{N: 0, Area: geom.Square(10), DMin: 1, DMax: 2, Alpha: 2},
+		{N: 5, Area: geom.Rect{}, DMin: 1, DMax: 2, Alpha: 2},
+		{N: 5, Area: geom.Square(10), DMin: 2, DMax: 2, Alpha: 2},
+		{N: 5, Area: geom.Square(10), DMin: -1, DMax: 2, Alpha: 2},
+		{N: 5, Area: geom.Square(10), DMin: 1, DMax: 2, Alpha: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := Random(cfg, src); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestRandomDefaultsMetricAndPower(t *testing.T) {
+	cfg := Config{N: 3, Area: geom.Square(100), DMin: 1, DMax: 2, Alpha: 2}
+	n, err := Random(cfg, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Metric == nil {
+		t.Fatal("metric not defaulted")
+	}
+	for _, l := range n.Links {
+		if l.Power != 1 {
+			t.Fatalf("default power = %g, want 1", l.Power)
+		}
+	}
+}
+
+func TestFigureConfigsMatchPaper(t *testing.T) {
+	f1 := Figure1Config()
+	if f1.N != 100 || f1.Alpha != 2.2 || f1.Noise != 4e-7 || f1.DMin != 20 || f1.DMax != 40 {
+		t.Fatalf("Figure1Config = %+v", f1)
+	}
+	f2 := Figure2Config()
+	if f2.N != 200 || f2.Alpha != 2.1 || f2.Noise != 0 || f2.DMax != 100 {
+		t.Fatalf("Figure2Config = %+v", f2)
+	}
+}
+
+func TestGrid(t *testing.T) {
+	n, err := Grid(2, 3, 10, 1, 2, 0, UniformPower{P: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.N() != 6 {
+		t.Fatalf("N = %d", n.N())
+	}
+	if err := n.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range n.Links {
+		if got := l.Length(n.Metric); got != 1 {
+			t.Fatalf("grid link length = %g", got)
+		}
+		if l.Power != 4 {
+			t.Fatalf("grid power = %g", l.Power)
+		}
+	}
+	if _, err := Grid(0, 3, 10, 1, 2, 0, nil); err == nil {
+		t.Error("degenerate grid accepted")
+	}
+	if _, err := Grid(2, 2, 0, 1, 2, 0, nil); err == nil {
+		t.Error("zero spacing accepted")
+	}
+}
+
+func TestDelta(t *testing.T) {
+	n := twoLinkNet()
+	if got := n.Delta(); got != 1 {
+		t.Fatalf("Delta = %g, want 1", got)
+	}
+	n.Links[1].Sender = geom.Point{X: 10, Y: 0}
+	n.Links[1].Receiver = geom.Point{X: 14, Y: 0}
+	if got := n.Delta(); got != 4 {
+		t.Fatalf("Delta = %g, want 4", got)
+	}
+	empty := &Network{}
+	if got := empty.Delta(); got != 0 {
+		t.Fatalf("Delta of empty = %g", got)
+	}
+}
+
+func TestClone(t *testing.T) {
+	n := twoLinkNet()
+	c := n.Clone()
+	c.Links[0].Power = 99
+	if n.Links[0].Power == 99 {
+		t.Fatal("Clone shares link storage")
+	}
+}
+
+// Property: gains are always finite and positive for valid random networks,
+// and the matrix passes its own validation.
+func TestQuickGainsWellFormed(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		cfg := Figure1Config()
+		cfg.N = int(nRaw%30) + 1
+		net, err := Random(cfg, rng.New(seed))
+		if err != nil {
+			return false
+		}
+		m := net.Gains()
+		if m.Validate() != nil {
+			return false
+		}
+		for j := 0; j < m.N; j++ {
+			for i := 0; i < m.N; i++ {
+				v := m.G[j][i]
+				if !(v > 0) || math.IsInf(v, 0) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the own-link gain S̄(i,i) exceeds every interferer's gain at
+// receiver i whenever link lengths are much shorter than typical
+// cross-distances — sanity for the Figure-1 geometry where links are
+// 20–40 long in a 1000×1000 field. Not universally true, so we only check
+// that the diagonal is positive and typically dominant.
+func TestDiagonalTypicallyDominates(t *testing.T) {
+	net, err := Random(Figure1Config(), rng.New(11))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := net.Gains()
+	dominated := 0
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if j != i && m.G[j][i] > m.G[i][i] {
+				dominated++
+			}
+		}
+	}
+	if frac := float64(dominated) / float64(m.N*(m.N-1)); frac > 0.05 {
+		t.Fatalf("diagonal dominated in %.1f%% of pairs; geometry looks wrong", 100*frac)
+	}
+}
+
+func BenchmarkGains100(b *testing.B) {
+	net, err := Random(Figure1Config(), rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = net.Gains()
+	}
+}
+
+func BenchmarkRandomNetwork(b *testing.B) {
+	src := rng.New(1)
+	cfg := Figure1Config()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Random(cfg, src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package plot renders line charts with error bars as standalone SVG —
+// enough to regenerate the paper's figures as images straight from the
+// experiment results, with no dependencies beyond the standard library.
+//
+// The renderer is intentionally small: numeric axes with automatic ticks,
+// multiple series with distinct strokes, optional ±stderr whiskers, and a
+// legend. It is not a general plotting library; it is the part of one this
+// repository needs.
+package plot
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+
+	"rayfade/internal/stats"
+)
+
+// Series is one polyline with optional per-point error bars.
+type Series struct {
+	Name string
+	X    []float64
+	Y    []float64
+	Err  []float64 // optional; same length as Y when present
+}
+
+// Chart is a complete figure.
+type Chart struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// W, H are the pixel dimensions (defaults 720×480).
+	W, H int
+}
+
+// palette holds visually distinct stroke colors (colorblind-safe-ish).
+var palette = []string{"#0072b2", "#d55e00", "#009e73", "#cc79a7", "#f0e442", "#56b4e9"}
+
+// dashes distinguishes series beyond color.
+var dashes = []string{"", "6,3", "2,2", "8,3,2,3"}
+
+// FromSeries converts a stats series map (as produced by the sim package)
+// into chart series, in the given name order.
+func FromSeries(xs []float64, names []string, series map[string]*stats.Series) ([]Series, error) {
+	out := make([]Series, 0, len(names))
+	for _, n := range names {
+		s, ok := series[n]
+		if !ok {
+			return nil, fmt.Errorf("plot: unknown series %q", n)
+		}
+		out = append(out, Series{
+			Name: n,
+			X:    append([]float64(nil), xs...),
+			Y:    s.Means(),
+			Err:  s.StdErrs(),
+		})
+	}
+	return out, nil
+}
+
+// Render writes the chart as a standalone SVG document.
+func (c Chart) Render(w io.Writer) error {
+	if len(c.Series) == 0 {
+		return fmt.Errorf("plot: chart has no series")
+	}
+	width, height := c.W, c.H
+	if width <= 0 {
+		width = 720
+	}
+	if height <= 0 {
+		height = 480
+	}
+	const (
+		marginL = 64
+		marginR = 16
+		marginT = 36
+		marginB = 48
+	)
+	plotW := float64(width - marginL - marginR)
+	plotH := float64(height - marginT - marginB)
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1) // anchor y at 0: these are counts/rates
+	for _, s := range c.Series {
+		if len(s.X) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d x for %d y", s.Name, len(s.X), len(s.Y))
+		}
+		if s.Err != nil && len(s.Err) != len(s.Y) {
+			return fmt.Errorf("plot: series %q has %d error bars for %d points", s.Name, len(s.Err), len(s.Y))
+		}
+		for i := range s.X {
+			if bad(s.X[i]) || bad(s.Y[i]) {
+				return fmt.Errorf("plot: series %q has non-finite point %d", s.Name, i)
+			}
+			xmin = math.Min(xmin, s.X[i])
+			xmax = math.Max(xmax, s.X[i])
+			hi := s.Y[i]
+			if s.Err != nil {
+				hi += s.Err[i]
+			}
+			ymax = math.Max(ymax, hi)
+		}
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+	ymax *= 1.05 // headroom
+
+	px := func(x float64) float64 { return marginL + (x-xmin)/(xmax-xmin)*plotW }
+	py := func(y float64) float64 { return marginT + (1-(y-ymin)/(ymax-ymin))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n",
+		width, height, width, height)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	if c.Title != "" {
+		fmt.Fprintf(&b, `<text x="%d" y="22" font-family="sans-serif" font-size="15" text-anchor="middle">%s</text>`+"\n",
+			width/2, escape(c.Title))
+	}
+
+	// Axes.
+	fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+		marginL, py(ymin), px(xmax), py(ymin))
+	fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%g" stroke="black"/>`+"\n",
+		marginL, marginT, marginL, py(ymin))
+
+	// Ticks.
+	for _, tx := range ticks(xmin, xmax, 6) {
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="black"/>`+"\n",
+			px(tx), py(ymin), px(tx), py(ymin)+5)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="middle">%s</text>`+"\n",
+			px(tx), py(ymin)+18, fmtTick(tx))
+	}
+	for _, ty := range ticks(ymin, ymax, 6) {
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%d" y2="%g" stroke="black"/>`+"\n",
+			float64(marginL)-5, py(ty), marginL, py(ty))
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11" text-anchor="end">%s</text>`+"\n",
+			float64(marginL)-8, py(ty)+4, fmtTick(ty))
+		fmt.Fprintf(&b, `<line x1="%d" y1="%g" x2="%g" y2="%g" stroke="#dddddd"/>`+"\n",
+			marginL, py(ty), px(xmax), py(ty))
+	}
+	if c.XLabel != "" {
+		fmt.Fprintf(&b, `<text x="%g" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+			float64(marginL)+plotW/2, height-10, escape(c.XLabel))
+	}
+	if c.YLabel != "" {
+		fmt.Fprintf(&b, `<text x="16" y="%g" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 16 %g)">%s</text>`+"\n",
+			float64(marginT)+plotH/2, float64(marginT)+plotH/2, escape(c.YLabel))
+	}
+
+	// Series.
+	for k, s := range c.Series {
+		color := palette[k%len(palette)]
+		dash := dashes[(k/len(palette))%len(dashes)]
+		var pts []string
+		for i := range s.X {
+			pts = append(pts, fmt.Sprintf("%.2f,%.2f", px(s.X[i]), py(s.Y[i])))
+		}
+		dashAttr := ""
+		if dash != "" {
+			dashAttr = fmt.Sprintf(` stroke-dasharray="%s"`, dash)
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="1.8"%s/>`+"\n",
+			strings.Join(pts, " "), color, dashAttr)
+		for i := range s.X {
+			fmt.Fprintf(&b, `<circle cx="%.2f" cy="%.2f" r="2.4" fill="%s"/>`+"\n",
+				px(s.X[i]), py(s.Y[i]), color)
+			if s.Err != nil && s.Err[i] > 0 {
+				fmt.Fprintf(&b, `<line x1="%.2f" y1="%.2f" x2="%.2f" y2="%.2f" stroke="%s" stroke-width="1"/>`+"\n",
+					px(s.X[i]), py(s.Y[i]-s.Err[i]), px(s.X[i]), py(s.Y[i]+s.Err[i]), color)
+			}
+		}
+	}
+
+	// Legend.
+	for k, s := range c.Series {
+		lx := float64(marginL) + 10
+		ly := float64(marginT) + 14 + float64(k)*16
+		color := palette[k%len(palette)]
+		fmt.Fprintf(&b, `<line x1="%g" y1="%g" x2="%g" y2="%g" stroke="%s" stroke-width="2"/>`+"\n",
+			lx, ly-4, lx+22, ly-4, color)
+		fmt.Fprintf(&b, `<text x="%g" y="%g" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			lx+28, ly, escape(s.Name))
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func bad(v float64) bool { return math.IsNaN(v) || math.IsInf(v, 0) }
+
+// ticks returns ~n nicely rounded tick positions covering [lo, hi].
+func ticks(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		n = 2
+	}
+	span := hi - lo
+	step := math.Pow(10, math.Floor(math.Log10(span/float64(n))))
+	for span/step > float64(n)*2 {
+		step *= 2
+		if span/step <= float64(n)*2 {
+			break
+		}
+		step *= 2.5
+	}
+	var ts []float64
+	start := math.Ceil(lo/step) * step
+	for t := start; t <= hi+1e-12*span; t += step {
+		ts = append(ts, t)
+		if len(ts) > 4*n {
+			break
+		}
+	}
+	return ts
+}
+
+func fmtTick(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e6 {
+		return fmt.Sprintf("%.0f", v)
+	}
+	return fmt.Sprintf("%.3g", v)
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

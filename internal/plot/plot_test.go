@@ -1,0 +1,129 @@
+package plot
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"rayfade/internal/stats"
+)
+
+func simpleChart() Chart {
+	return Chart{
+		Title:  "test <chart>",
+		XLabel: "x",
+		YLabel: "y",
+		Series: []Series{
+			{Name: "a", X: []float64{0, 1, 2}, Y: []float64{1, 3, 2}, Err: []float64{0.1, 0.2, 0.1}},
+			{Name: "b", X: []float64{0, 1, 2}, Y: []float64{2, 1, 4}},
+		},
+	}
+}
+
+func TestRenderProducesValidSVG(t *testing.T) {
+	var buf bytes.Buffer
+	if err := simpleChart().Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"<svg", "</svg>", "<polyline", "<circle",
+		"test &lt;chart&gt;",     // title escaped
+		">a</text>", ">b</text>", // legend entries
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("missing %q in SVG:\n%s", want, out[:min(400, len(out))])
+		}
+	}
+	// Two polylines (one per series).
+	if got := strings.Count(out, "<polyline"); got != 2 {
+		t.Fatalf("%d polylines", got)
+	}
+	// Error bars only for series a (3 whiskers).
+	if got := strings.Count(out, `stroke-width="1"/>`); got != 3 {
+		t.Fatalf("%d error bars, want 3", got)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestRenderErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := (Chart{}).Render(&buf); err == nil {
+		t.Fatal("empty chart accepted")
+	}
+	bad := Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{1, 2}}}}
+	if err := bad.Render(&buf); err == nil {
+		t.Fatal("ragged series accepted")
+	}
+	nan := Chart{Series: []Series{{Name: "x", X: []float64{1}, Y: []float64{math.NaN()}}}}
+	if err := nan.Render(&buf); err == nil {
+		t.Fatal("NaN point accepted")
+	}
+	wrongErr := Chart{Series: []Series{{Name: "x", X: []float64{1, 2}, Y: []float64{1, 2}, Err: []float64{0.1}}}}
+	if err := wrongErr.Render(&buf); err == nil {
+		t.Fatal("ragged error bars accepted")
+	}
+}
+
+func TestRenderDegenerateRanges(t *testing.T) {
+	// Single point: x range must be widened, not divided by zero.
+	c := Chart{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{0}}}}
+	var buf bytes.Buffer
+	if err := c.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(buf.String(), "NaN") {
+		t.Fatal("degenerate chart produced NaN coordinates")
+	}
+}
+
+func TestFromSeries(t *testing.T) {
+	s := stats.NewSeries([]float64{1, 2})
+	s.Observe(0, 4)
+	s.Observe(0, 6)
+	s.Observe(1, 10)
+	out, err := FromSeries([]float64{1, 2}, []string{"curve"}, map[string]*stats.Series{"curve": s})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 1 || out[0].Y[0] != 5 || out[0].Y[1] != 10 {
+		t.Fatalf("FromSeries = %+v", out)
+	}
+	if out[0].Err[0] <= 0 {
+		t.Fatal("missing error bars")
+	}
+	if _, err := FromSeries([]float64{1}, []string{"absent"}, nil); err == nil {
+		t.Fatal("unknown series accepted")
+	}
+}
+
+func TestTicksCoverRange(t *testing.T) {
+	for _, c := range [][2]float64{{0, 1}, {0, 100}, {0.05, 1}, {3, 7}, {0, 22.4}} {
+		ts := ticks(c[0], c[1], 6)
+		if len(ts) < 2 {
+			t.Fatalf("range %v: only %d ticks", c, len(ts))
+		}
+		for _, v := range ts {
+			if v < c[0]-1e-9 || v > c[1]+1e-9 {
+				t.Fatalf("tick %g outside [%g,%g]", v, c[0], c[1])
+			}
+		}
+	}
+}
+
+func BenchmarkRender(b *testing.B) {
+	c := simpleChart()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		if err := c.Render(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+package quad
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFinitePolynomial(t *testing.T) {
+	// ∫₀¹ x² dx = 1/3, Simpson is exact for cubics.
+	v, err := Finite(func(x float64) float64 { return x * x }, 0, 1, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1.0/3.0) > 1e-12 {
+		t.Fatalf("∫x² = %.15f", v)
+	}
+}
+
+func TestFiniteTranscendental(t *testing.T) {
+	// ∫₀^π sin x dx = 2.
+	v, err := Finite(math.Sin, 0, math.Pi, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-2) > 1e-9 {
+		t.Fatalf("∫sin = %.12f", v)
+	}
+	// ∫₁^e 1/x dx = 1.
+	v, err = Finite(func(x float64) float64 { return 1 / x }, 1, math.E, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-9 {
+		t.Fatalf("∫1/x = %.12f", v)
+	}
+}
+
+func TestFiniteReversedAndEmpty(t *testing.T) {
+	v, err := Finite(math.Sin, math.Pi, 0, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v+2) > 1e-9 {
+		t.Fatalf("reversed ∫sin = %.12f, want -2", v)
+	}
+	v, err = Finite(math.Sin, 1, 1, 0)
+	if err != nil || v != 0 {
+		t.Fatalf("empty interval: %g, %v", v, err)
+	}
+}
+
+func TestFiniteSharpPeak(t *testing.T) {
+	// A narrow Gaussian: adaptive subdivision must find it.
+	// ∫_{-10}^{10} exp(-1000 x²) dx = sqrt(π/1000).
+	f := func(x float64) float64 { return math.Exp(-1000 * x * x) }
+	v, err := Finite(f, -10, 10, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Sqrt(math.Pi / 1000)
+	if math.Abs(v-want) > 1e-8 {
+		t.Fatalf("Gaussian integral %.12f, want %.12f", v, want)
+	}
+}
+
+func TestFiniteRejectsNaN(t *testing.T) {
+	if _, err := Finite(func(x float64) float64 { return math.Log(x) }, -1, 1, 0); err == nil {
+		t.Fatal("NaN integrand accepted")
+	}
+}
+
+func TestSemiInfiniteExponential(t *testing.T) {
+	// ∫₀^∞ e^{-x} dx = 1.
+	v, err := SemiInfinite(func(x float64) float64 { return math.Exp(-x) }, 0, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-8 {
+		t.Fatalf("∫e^-x = %.12f", v)
+	}
+	// ∫₂^∞ e^{-x} dx = e^{-2}.
+	v, err = SemiInfinite(func(x float64) float64 { return math.Exp(-x) }, 2, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-math.Exp(-2)) > 1e-8 {
+		t.Fatalf("tail = %.12f, want %.12f", v, math.Exp(-2))
+	}
+}
+
+func TestSemiInfiniteRational(t *testing.T) {
+	// ∫₀^∞ 1/(1+x)² dx = 1.
+	v, err := SemiInfinite(func(x float64) float64 { return 1 / ((1 + x) * (1 + x)) }, 0, 1e-10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-1) > 1e-7 {
+		t.Fatalf("∫1/(1+x)² = %.12f", v)
+	}
+}
+
+func TestSemiInfiniteShannonKernel(t *testing.T) {
+	// The exact kernel used by the rate computation:
+	// ∫₀^∞ e^{-λx}/(1+x) dx = e^λ E₁(λ). Check λ=1 against the known value
+	// e·E₁(1) ≈ 0.596347362323194.
+	v, err := SemiInfinite(func(x float64) float64 { return math.Exp(-x) / (1 + x) }, 0, 1e-11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.596347362323194) > 1e-8 {
+		t.Fatalf("Shannon kernel = %.12f", v)
+	}
+}
+
+// Property: integrating a non-negative function gives a non-negative value,
+// and splitting the interval is additive.
+func TestQuickAdditivity(t *testing.T) {
+	f := func(aRaw, bRaw, cRaw float64) bool {
+		if math.IsNaN(aRaw) || math.IsNaN(bRaw) || math.IsNaN(cRaw) {
+			return true
+		}
+		a := math.Mod(aRaw, 10)
+		b := a + math.Abs(math.Mod(bRaw, 10))
+		c := b + math.Abs(math.Mod(cRaw, 10))
+		g := func(x float64) float64 { return math.Exp(-x*x/50) + 0.5 }
+		whole, err1 := Finite(g, a, c, 1e-10)
+		left, err2 := Finite(g, a, b, 1e-10)
+		right, err3 := Finite(g, b, c, 1e-10)
+		if err1 != nil || err2 != nil || err3 != nil {
+			return false
+		}
+		return whole >= 0 && math.Abs(whole-(left+right)) < 1e-7*(1+math.Abs(whole))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSemiInfiniteShannonKernel(b *testing.B) {
+	f := func(x float64) float64 { return math.Exp(-x) / (1 + x) }
+	for i := 0; i < b.N; i++ {
+		if _, err := SemiInfinite(f, 0, 1e-9); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

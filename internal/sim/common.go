@@ -1,0 +1,15 @@
+package sim
+
+import (
+	"rayfade/internal/geom"
+	"rayfade/internal/network"
+	"rayfade/internal/sinr"
+)
+
+// squareArea returns the [0,side]² deployment area.
+func squareArea(side float64) geom.Rect { return geom.Square(side) }
+
+// countNonFading counts active links reaching beta in the non-fading model.
+func countNonFading(m *network.Matrix, active []bool, beta float64) int {
+	return sinr.CountSuccesses(m, active, beta)
+}

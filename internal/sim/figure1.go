@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"rayfade/internal/fading"
+	"rayfade/internal/network"
+	"rayfade/internal/rng"
+	"rayfade/internal/stats"
+)
+
+// Figure1Config parameterizes the Figure-1 experiment: the number of
+// successful transmissions as a function of a common transmission
+// probability, under {uniform, square-root} power × {non-fading, Rayleigh}
+// model. Zero values default to the paper's settings.
+type Figure1Config struct {
+	Networks      int       // random networks to average over (paper: 40)
+	Links         int       // links per network (paper: 100)
+	TransmitSeeds int       // transmit-set draws per network & probability (paper: 25)
+	FadingSeeds   int       // fading draws per transmit set (paper: 10)
+	Probs         []float64 // transmission probability grid
+	Beta          float64   // SINR threshold (paper: 2.5)
+	Alpha         float64   // path-loss exponent (paper: 2.2)
+	Noise         float64   // ambient noise (paper: 4e-7)
+	DMin, DMax    float64   // link length range (paper: [20,40])
+	Side          float64   // deployment square side (paper: 1000)
+	Power         float64   // uniform power / sqrt scale (paper: 2)
+	Workers       int       // parallel workers (≤0: GOMAXPROCS)
+	Seed          uint64    // master seed
+	// Topology selects the receiver deployment: "uniform" (the paper's
+	// generator, default) or "cluster" (Thomas-process-like clusters) — a
+	// robustness variant probing whether the Figure-1 shape depends on
+	// uniform placement.
+	Topology string
+}
+
+// withDefaults fills zero fields with the paper's parameters.
+func (c Figure1Config) withDefaults() Figure1Config {
+	if c.Networks == 0 {
+		c.Networks = 40
+	}
+	if c.Links == 0 {
+		c.Links = 100
+	}
+	if c.TransmitSeeds == 0 {
+		c.TransmitSeeds = 25
+	}
+	if c.FadingSeeds == 0 {
+		c.FadingSeeds = 10
+	}
+	if len(c.Probs) == 0 {
+		c.Probs = stats.Linspace(0.05, 1.0, 20)
+	}
+	if c.Beta == 0 {
+		c.Beta = 2.5
+	}
+	if c.Alpha == 0 {
+		c.Alpha = 2.2
+	}
+	if c.Noise == 0 {
+		c.Noise = 4e-7
+	}
+	if c.DMin == 0 && c.DMax == 0 {
+		c.DMin, c.DMax = 20, 40
+	}
+	if c.Side == 0 {
+		c.Side = 1000
+	}
+	if c.Power == 0 {
+		c.Power = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Topology == "" {
+		c.Topology = "uniform"
+	}
+	return c
+}
+
+// drawNetwork realizes one network of the configured topology.
+func (c Figure1Config) drawNetwork(src *rng.Source) (*network.Network, error) {
+	base := network.Config{
+		N:     c.Links,
+		Area:  squareArea(c.Side),
+		DMin:  c.DMin,
+		DMax:  c.DMax,
+		Alpha: c.Alpha,
+		Noise: c.Noise,
+	}
+	switch c.Topology {
+	case "uniform":
+		return network.Random(base, src)
+	case "cluster":
+		// Clusters of ~20 receivers with a spread comparable to a few
+		// link lengths: locally dense, globally sparse.
+		clusters := c.Links / 20
+		if clusters < 2 {
+			clusters = 2
+		}
+		perChild := (c.Links + clusters - 1) / clusters
+		net, err := network.RandomClustered(network.ClusterConfig{
+			Clusters: clusters,
+			PerChild: perChild,
+			Spread:   2 * c.DMax,
+			Base:     base,
+		}, src)
+		if err != nil {
+			return nil, err
+		}
+		// Rounding may overshoot; trim to the requested link count so the
+		// curves stay comparable across topologies.
+		net.Links = net.Links[:c.Links]
+		return net, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown topology %q (want uniform or cluster)", c.Topology)
+	}
+}
+
+// Figure-1 curve identifiers, matching the four curves of the paper's plot.
+const (
+	CurveUniformNonFading = "uniform/non-fading"
+	CurveUniformRayleigh  = "uniform/rayleigh"
+	CurveSqrtNonFading    = "sqrt/non-fading"
+	CurveSqrtRayleigh     = "sqrt/rayleigh"
+)
+
+// Figure1Result carries the four success curves over the probability grid.
+type Figure1Result struct {
+	Probs  []float64
+	Curves map[string]*stats.Series
+	Config Figure1Config
+}
+
+// RunFigure1 reproduces Figure 1: for each random network, each power
+// assignment, and each transmission probability, it draws transmit sets and
+// counts successes in the non-fading model (per transmit seed) and in the
+// Rayleigh model (per transmit seed × fading seed).
+func RunFigure1(cfg Figure1Config) *Figure1Result {
+	cfg = cfg.withDefaults()
+	// Fixed order: iterating a map here would consume the replication's
+	// RNG stream in a map-iteration-dependent order and break determinism.
+	powers := []struct {
+		name string
+		pa   network.PowerAssignment
+	}{
+		{"uniform", network.UniformPower{P: cfg.Power}},
+		{"sqrt", network.SquareRootPower{Scale: cfg.Power, Alpha: cfg.Alpha}},
+	}
+
+	type netResult struct {
+		curves map[string]*stats.Series
+	}
+	base := rng.New(cfg.Seed)
+	perNet := Parallel(cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
+		out := netResult{curves: map[string]*stats.Series{
+			CurveUniformNonFading: stats.NewSeries(cfg.Probs),
+			CurveUniformRayleigh:  stats.NewSeries(cfg.Probs),
+			CurveSqrtNonFading:    stats.NewSeries(cfg.Probs),
+			CurveSqrtRayleigh:     stats.NewSeries(cfg.Probs),
+		}}
+		net, err := cfg.drawNetwork(src)
+		if err != nil {
+			panic(fmt.Sprintf("sim: figure 1 network generation: %v", err))
+		}
+		for _, pw := range powers {
+			m := net.Clone().ApplyPower(pw.pa).Gains()
+			nfKey, rlKey := pw.name+"/non-fading", pw.name+"/rayleigh"
+			for pi, p := range cfg.Probs {
+				q := fading.UniformProbs(m.N, p)
+				for ts := 0; ts < cfg.TransmitSeeds; ts++ {
+					active := make([]bool, m.N)
+					for i := range active {
+						active[i] = src.Bernoulli(q[i])
+					}
+					nf := countNonFading(m, active, cfg.Beta)
+					out.curves[nfKey].Observe(pi, float64(nf))
+					for fs := 0; fs < cfg.FadingSeeds; fs++ {
+						rl := len(fading.SampleSuccesses(m, active, cfg.Beta, src))
+						out.curves[rlKey].Observe(pi, float64(rl))
+					}
+				}
+			}
+		}
+		return out
+	})
+
+	res := &Figure1Result{Probs: cfg.Probs, Config: cfg, Curves: map[string]*stats.Series{
+		CurveUniformNonFading: stats.NewSeries(cfg.Probs),
+		CurveUniformRayleigh:  stats.NewSeries(cfg.Probs),
+		CurveSqrtNonFading:    stats.NewSeries(cfg.Probs),
+		CurveSqrtRayleigh:     stats.NewSeries(cfg.Probs),
+	}}
+	for _, nr := range perNet {
+		for key, series := range nr.curves {
+			res.Curves[key].Merge(series)
+		}
+	}
+	return res
+}
+
+// CurveNames returns the curve keys in stable presentation order.
+func (r *Figure1Result) CurveNames() []string {
+	names := make([]string, 0, len(r.Curves))
+	for k := range r.Curves {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Peak returns, for a curve, the probability with the highest mean success
+// count and that mean.
+func (r *Figure1Result) Peak(curve string) (prob, mean float64) {
+	s, ok := r.Curves[curve]
+	if !ok {
+		panic(fmt.Sprintf("sim: unknown curve %q", curve))
+	}
+	i := s.ArgmaxMean()
+	return r.Probs[i], s.Acc[i].Mean()
+}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+
+	"rayfade/internal/stats"
+)
+
+// WriteSeriesCSV writes one or more series sharing an x grid as CSV:
+// a header row, then one row per x point with mean and stderr columns per
+// series. Curve order follows the names slice.
+func WriteSeriesCSV(w io.Writer, xName string, xs []float64, names []string, series map[string]*stats.Series) error {
+	cols := []string{xName}
+	for _, n := range names {
+		cols = append(cols, n+"_mean", n+"_stderr")
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, x := range xs {
+		row := []string{fmt.Sprintf("%g", x)}
+		for _, n := range names {
+			s, ok := series[n]
+			if !ok {
+				return fmt.Errorf("sim: unknown series %q", n)
+			}
+			row = append(row,
+				fmt.Sprintf("%.6g", s.Acc[i].Mean()),
+				fmt.Sprintf("%.6g", s.Acc[i].StdErr()))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MarkdownTable renders the same data as a GitHub-flavored markdown table
+// with "mean ± stderr" cells, for EXPERIMENTS.md.
+func MarkdownTable(w io.Writer, xName string, xs []float64, names []string, series map[string]*stats.Series) error {
+	header := "| " + xName
+	sep := "|---"
+	for _, n := range names {
+		header += " | " + n
+		sep += "|---"
+	}
+	if _, err := fmt.Fprintln(w, header+" |"); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintln(w, sep+"|"); err != nil {
+		return err
+	}
+	for i, x := range xs {
+		row := fmt.Sprintf("| %g", x)
+		for _, n := range names {
+			s, ok := series[n]
+			if !ok {
+				return fmt.Errorf("sim: unknown series %q", n)
+			}
+			row += fmt.Sprintf(" | %.2f ± %.2f", s.Acc[i].Mean(), s.Acc[i].StdErr())
+		}
+		if _, err := fmt.Fprintln(w, row+" |"); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ASCIIChart renders the series as a fixed-size terminal chart: one glyph
+// per curve, y scaled to the global max. It is deliberately crude — enough
+// to eyeball the Figure-1 crossover and the Figure-2 convergence without
+// leaving the terminal.
+func ASCIIChart(w io.Writer, xs []float64, names []string, series map[string]*stats.Series, height int) error {
+	if height <= 0 {
+		height = 16
+	}
+	if len(xs) == 0 {
+		return fmt.Errorf("sim: empty x grid")
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#', '@'}
+	maxY := 0.0
+	for _, n := range names {
+		s, ok := series[n]
+		if !ok {
+			return fmt.Errorf("sim: unknown series %q", n)
+		}
+		for i := range xs {
+			if m := s.Acc[i].Mean(); m > maxY {
+				maxY = m
+			}
+		}
+	}
+	if maxY == 0 {
+		maxY = 1
+	}
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", len(xs)))
+	}
+	for k, n := range names {
+		g := glyphs[k%len(glyphs)]
+		s := series[n]
+		for i := range xs {
+			row := int(math.Round((1 - s.Acc[i].Mean()/maxY) * float64(height-1)))
+			if row < 0 {
+				row = 0
+			}
+			if row >= height {
+				row = height - 1
+			}
+			grid[row][i] = g
+		}
+	}
+	for r, line := range grid {
+		label := "        "
+		if r == 0 {
+			label = fmt.Sprintf("%7.1f ", maxY)
+		} else if r == height-1 {
+			label = fmt.Sprintf("%7.1f ", 0.0)
+		}
+		if _, err := fmt.Fprintf(w, "%s|%s|\n", label, line); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "        %s%g .. %g\n", strings.Repeat(" ", 1), xs[0], xs[len(xs)-1]); err != nil {
+		return err
+	}
+	legend := make([]string, 0, len(names))
+	for k, n := range names {
+		legend = append(legend, fmt.Sprintf("%c=%s", glyphs[k%len(glyphs)], n))
+	}
+	sort.Strings(legend)
+	_, err := fmt.Fprintln(w, "        "+strings.Join(legend, "  "))
+	return err
+}

@@ -1,0 +1,66 @@
+// Package sim is the experiment harness: it reproduces the paper's
+// evaluation (Section 7) — Figure 1, Figure 2, and the in-text optimum
+// reference — on top of the model and algorithm packages, with deterministic
+// seeding and bounded parallelism.
+//
+// Every experiment follows the same scheme: a config struct with the paper's
+// parameters as defaults, a Run function that fans replications out over a
+// worker pool (one deterministic RNG stream per replication, so results are
+// identical at any parallelism level), and a result type that carries means
+// with standard errors and renders itself as CSV, a markdown table, or an
+// ASCII chart for terminal inspection.
+package sim
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"rayfade/internal/rng"
+)
+
+// Parallel runs fn for reps replications on up to workers goroutines and
+// returns the per-replication results in replication order.
+//
+// Determinism: the RNG streams are split from base sequentially before any
+// goroutine starts, so the result for replication r does not depend on the
+// worker count or scheduling. workers ≤ 0 selects GOMAXPROCS.
+func Parallel[T any](reps, workers int, base *rng.Source, fn func(rep int, src *rng.Source) T) []T {
+	if reps < 0 {
+		panic(fmt.Sprintf("sim: negative replication count %d", reps))
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > reps {
+		workers = reps
+	}
+	results := make([]T, reps)
+	if reps == 0 {
+		return results
+	}
+	srcs := base.SplitN(reps)
+	if workers <= 1 {
+		for r := 0; r < reps; r++ {
+			results[r] = fn(r, srcs[r])
+		}
+		return results
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for r := range jobs {
+				results[r] = fn(r, srcs[r])
+			}
+		}()
+	}
+	for r := 0; r < reps; r++ {
+		jobs <- r
+	}
+	close(jobs)
+	wg.Wait()
+	return results
+}

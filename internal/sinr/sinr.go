@@ -1,0 +1,291 @@
+// Package sinr evaluates the deterministic (non-fading) SINR model of the
+// paper's Section 2 on top of a gain matrix: signal-to-interference-plus-
+// noise ratios, feasibility of transmission sets against a threshold β, and
+// the affectance measure used by the capacity algorithms and by Lemma 6.
+//
+// Given the expected-strength matrix S̄ and a set S of transmitting links,
+// the SINR of link i ∈ S is
+//
+//	γ_i^nf = S̄(i,i) / (Σ_{j ∈ S, j ≠ i} S̄(j,i) + ν).
+//
+// Link i "succeeds" if γ_i^nf ≥ β, and S is feasible if every link in S
+// succeeds simultaneously.
+package sinr
+
+import (
+	"fmt"
+	"math"
+
+	"rayfade/internal/network"
+)
+
+// Value returns the non-fading SINR γ_i^nf of link i when exactly the links
+// with active[j] == true transmit. If i itself is not active, Value returns
+// 0 (a link that does not transmit achieves no rate). If interference and
+// noise are both zero the SINR is +Inf.
+func Value(m *network.Matrix, active []bool, i int) float64 {
+	if !active[i] {
+		return 0
+	}
+	interf := m.Noise
+	for j := range active {
+		if j != i && active[j] {
+			interf += m.G[j][i]
+		}
+	}
+	if interf == 0 {
+		return math.Inf(1)
+	}
+	return m.G[i][i] / interf
+}
+
+// Values returns the SINR of every link under the given activity vector;
+// inactive links report 0.
+func Values(m *network.Matrix, active []bool) []float64 {
+	out := make([]float64, m.N)
+	// Total received power at each receiver in one pass, then subtract the
+	// own signal: O(n²) instead of O(n³) for the naive per-link loop.
+	for i := 0; i < m.N; i++ {
+		if !active[i] {
+			continue
+		}
+		interf := m.Noise
+		for j := 0; j < m.N; j++ {
+			if j != i && active[j] {
+				interf += m.G[j][i]
+			}
+		}
+		if interf == 0 {
+			out[i] = math.Inf(1)
+		} else {
+			out[i] = m.G[i][i] / interf
+		}
+	}
+	return out
+}
+
+// SetToActive converts a set of link indices into an activity vector.
+// It panics on out-of-range or duplicate indices.
+func SetToActive(n int, set []int) []bool {
+	active := make([]bool, n)
+	for _, i := range set {
+		if i < 0 || i >= n {
+			panic(fmt.Sprintf("sinr: link index %d out of range [0,%d)", i, n))
+		}
+		if active[i] {
+			panic(fmt.Sprintf("sinr: duplicate link index %d", i))
+		}
+		active[i] = true
+	}
+	return active
+}
+
+// ActiveToSet lists the indices set in an activity vector, in order.
+func ActiveToSet(active []bool) []int {
+	var set []int
+	for i, a := range active {
+		if a {
+			set = append(set, i)
+		}
+	}
+	return set
+}
+
+// Successes returns the indices of active links whose SINR reaches β.
+func Successes(m *network.Matrix, active []bool, beta float64) []int {
+	var ok []int
+	vals := Values(m, active)
+	for i, a := range active {
+		if a && vals[i] >= beta {
+			ok = append(ok, i)
+		}
+	}
+	return ok
+}
+
+// CountSuccesses returns the number of active links whose SINR reaches β.
+func CountSuccesses(m *network.Matrix, active []bool, beta float64) int {
+	count := 0
+	vals := Values(m, active)
+	for i, a := range active {
+		if a && vals[i] >= beta {
+			count++
+		}
+	}
+	return count
+}
+
+// Feasible reports whether the set of links is simultaneously successful at
+// threshold β: every link in the set reaches SINR ≥ β when exactly the set
+// transmits. The empty set is feasible.
+func Feasible(m *network.Matrix, set []int, beta float64) bool {
+	if len(set) == 0 {
+		return true
+	}
+	active := SetToActive(m.N, set)
+	vals := Values(m, active)
+	for _, i := range set {
+		if vals[i] < beta {
+			return false
+		}
+	}
+	return true
+}
+
+// Affectance returns a(j,i), the (uniform-threshold) affectance of link j on
+// link i at threshold β: the fraction of link i's interference tolerance
+// that j's transmission consumes, capped at 1. In gain terms,
+//
+//	a(j,i) = min{ 1, β·S̄(j,i) / (S̄(i,i) − β·ν) },
+//
+// which for uniform powers reduces to the distance form in the paper's
+// Lemma 6. If the noise alone already prevents link i from reaching β
+// (S̄(i,i) ≤ β·ν), the affectance is 1: the link is beyond help.
+// Self-affectance a(i,i) is defined as 0.
+func Affectance(m *network.Matrix, beta float64, j, i int) float64 {
+	if j == i {
+		return 0
+	}
+	margin := m.G[i][i] - beta*m.Noise
+	if margin <= 0 {
+		return 1
+	}
+	a := beta * m.G[j][i] / margin
+	if a > 1 {
+		return 1
+	}
+	return a
+}
+
+// AffectanceUncapped returns the raw affectance ratio β·S̄(j,i)/(S̄(i,i)−β·ν)
+// without the cap at 1. Unlike the capped form, the uncapped sum exactly
+// characterizes the SINR constraint: link i succeeds alongside set S iff
+// Σ_{j∈S} AffectanceUncapped(j,i) ≤ 1. A noise-dominated link (margin ≤ 0)
+// reports +Inf.
+func AffectanceUncapped(m *network.Matrix, beta float64, j, i int) float64 {
+	if j == i {
+		return 0
+	}
+	margin := m.G[i][i] - beta*m.Noise
+	if margin <= 0 {
+		if beta*m.G[j][i] == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return beta * m.G[j][i] / margin
+}
+
+// AffectanceSum returns Σ_{j ∈ set} a(j,i), the total capped affectance of a
+// set on link i.
+func AffectanceSum(m *network.Matrix, beta float64, set []int, i int) float64 {
+	sum := 0.0
+	for _, j := range set {
+		sum += Affectance(m, beta, j, i)
+	}
+	return sum
+}
+
+// FeasibleByAffectance reports whether every link i in the set has total
+// uncapped affectance at most 1 from the rest of the set, which is exactly
+// the SINR feasibility condition (noise-dominated links make the set
+// infeasible). It cross-checks Feasible and serves the algorithms that
+// reason in affectance space.
+func FeasibleByAffectance(m *network.Matrix, set []int, beta float64) bool {
+	for _, i := range set {
+		if m.G[i][i] < beta*m.Noise {
+			return false // noise alone already defeats link i
+		}
+		sum := 0.0
+		for _, j := range set {
+			if j != i {
+				sum += AffectanceUncapped(m, beta, j, i)
+			}
+		}
+		if !(sum <= 1) { // rejects sums > 1 as well as Inf and NaN
+			return false
+		}
+	}
+	return true
+}
+
+// Accumulator incrementally maintains, for every receiver, the total
+// interference from the currently active senders. Greedy capacity
+// algorithms add and remove candidate senders many times; the accumulator
+// makes each probe O(n) instead of O(n²).
+type Accumulator struct {
+	m      *network.Matrix
+	interf []float64 // interf[i] = Σ_{active j} S̄(j,i), including j == i
+	active []bool
+	count  int
+}
+
+// NewAccumulator returns an empty accumulator over the matrix.
+func NewAccumulator(m *network.Matrix) *Accumulator {
+	return &Accumulator{
+		m:      m,
+		interf: make([]float64, m.N),
+		active: make([]bool, m.N),
+	}
+}
+
+// Add activates sender j. It panics if j is already active.
+func (a *Accumulator) Add(j int) {
+	if a.active[j] {
+		panic(fmt.Sprintf("sinr: sender %d already active", j))
+	}
+	a.active[j] = true
+	a.count++
+	for i := 0; i < a.m.N; i++ {
+		a.interf[i] += a.m.G[j][i]
+	}
+}
+
+// Remove deactivates sender j. It panics if j is not active.
+func (a *Accumulator) Remove(j int) {
+	if !a.active[j] {
+		panic(fmt.Sprintf("sinr: sender %d not active", j))
+	}
+	a.active[j] = false
+	a.count--
+	for i := 0; i < a.m.N; i++ {
+		a.interf[i] -= a.m.G[j][i]
+	}
+}
+
+// Active reports whether sender j is currently active.
+func (a *Accumulator) Active(j int) bool { return a.active[j] }
+
+// Count returns the number of active senders.
+func (a *Accumulator) Count() int { return a.count }
+
+// SINR returns the SINR link i would see right now. If i is active its own
+// signal is excluded from the interference; if i is inactive the value is
+// the SINR it would get by joining the current set.
+func (a *Accumulator) SINR(i int) float64 {
+	interf := a.interf[i] + a.m.Noise
+	if a.active[i] {
+		interf -= a.m.G[i][i]
+	}
+	// Guard against cancellation leaving a tiny negative residue.
+	if interf < 0 {
+		interf = 0
+	}
+	if interf == 0 {
+		return math.Inf(1)
+	}
+	return a.m.G[i][i] / interf
+}
+
+// AllFeasible reports whether every currently active link reaches β.
+func (a *Accumulator) AllFeasible(beta float64) bool {
+	for i, act := range a.active {
+		if act && a.SINR(i) < beta {
+			return false
+		}
+	}
+	return true
+}
+
+// Set returns the currently active links as a sorted index set.
+func (a *Accumulator) Set() []int { return ActiveToSet(a.active) }

@@ -1,0 +1,458 @@
+package sinr
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"rayfade/internal/network"
+	"rayfade/internal/rng"
+)
+
+// mat builds a Matrix from rows (G[j][i]) and noise, failing the test on error.
+func mat(t testing.TB, g [][]float64, noise float64) *network.Matrix {
+	t.Helper()
+	m, err := network.NewMatrix(g, noise)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// mat2 is a two-link instance: strong own signals, weak cross gains.
+func mat2(t testing.TB) *network.Matrix {
+	return mat(t, [][]float64{
+		{1.0, 0.1}, // sender 0 at receivers 0,1
+		{0.2, 2.0}, // sender 1 at receivers 0,1
+	}, 0.05)
+}
+
+func randomMatrix(t testing.TB, seed uint64, n int) *network.Matrix {
+	t.Helper()
+	cfg := network.Figure1Config()
+	cfg.N = n
+	net, err := network.Random(cfg, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net.Gains()
+}
+
+func TestValueBothActive(t *testing.T) {
+	m := mat2(t)
+	active := []bool{true, true}
+	// γ_0 = 1 / (0.2 + 0.05) = 4; γ_1 = 2 / (0.1 + 0.05) ≈ 13.33.
+	if got := Value(m, active, 0); math.Abs(got-4) > 1e-12 {
+		t.Fatalf("γ_0 = %g, want 4", got)
+	}
+	if got := Value(m, active, 1); math.Abs(got-2/0.15) > 1e-12 {
+		t.Fatalf("γ_1 = %g, want %g", got, 2/0.15)
+	}
+}
+
+func TestValueSolo(t *testing.T) {
+	m := mat2(t)
+	// Alone, only noise interferes: γ_0 = 1/0.05 = 20.
+	if got := Value(m, []bool{true, false}, 0); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("solo γ_0 = %g, want 20", got)
+	}
+}
+
+func TestValueInactiveLinkIsZero(t *testing.T) {
+	m := mat2(t)
+	if got := Value(m, []bool{false, true}, 0); got != 0 {
+		t.Fatalf("inactive link SINR = %g, want 0", got)
+	}
+}
+
+func TestValueInfiniteWithoutNoiseOrInterference(t *testing.T) {
+	m := mat(t, [][]float64{{1, 0}, {0, 1}}, 0)
+	if got := Value(m, []bool{true, false}, 0); !math.IsInf(got, 1) {
+		t.Fatalf("noise-free solo SINR = %g, want +Inf", got)
+	}
+}
+
+func TestValuesMatchesValue(t *testing.T) {
+	m := randomMatrix(t, 5, 20)
+	src := rng.New(77)
+	for trial := 0; trial < 20; trial++ {
+		active := make([]bool, m.N)
+		for i := range active {
+			active[i] = src.Bernoulli(0.4)
+		}
+		vals := Values(m, active)
+		for i := range active {
+			if want := Value(m, active, i); math.Abs(vals[i]-want) > 1e-12*(1+want) {
+				t.Fatalf("Values[%d] = %g, Value = %g", i, vals[i], want)
+			}
+		}
+	}
+}
+
+func TestSetToActiveRoundTrip(t *testing.T) {
+	active := SetToActive(5, []int{0, 3, 4})
+	want := []bool{true, false, false, true, true}
+	for i := range want {
+		if active[i] != want[i] {
+			t.Fatalf("SetToActive = %v", active)
+		}
+	}
+	set := ActiveToSet(active)
+	if len(set) != 3 || set[0] != 0 || set[1] != 3 || set[2] != 4 {
+		t.Fatalf("ActiveToSet = %v", set)
+	}
+}
+
+func TestSetToActivePanics(t *testing.T) {
+	for _, set := range [][]int{{-1}, {5}, {1, 1}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("SetToActive(%v) did not panic", set)
+				}
+			}()
+			SetToActive(5, set)
+		}()
+	}
+}
+
+func TestSuccessesAndCount(t *testing.T) {
+	m := mat2(t)
+	active := []bool{true, true}
+	// γ_0 = 4, γ_1 ≈ 13.3.
+	if got := Successes(m, active, 5); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("Successes(β=5) = %v", got)
+	}
+	if got := CountSuccesses(m, active, 5); got != 1 {
+		t.Fatalf("CountSuccesses(β=5) = %d", got)
+	}
+	if got := CountSuccesses(m, active, 3); got != 2 {
+		t.Fatalf("CountSuccesses(β=3) = %d", got)
+	}
+	if got := CountSuccesses(m, active, 100); got != 0 {
+		t.Fatalf("CountSuccesses(β=100) = %d", got)
+	}
+}
+
+func TestFeasible(t *testing.T) {
+	m := mat2(t)
+	if !Feasible(m, nil, 2.5) {
+		t.Fatal("empty set must be feasible")
+	}
+	if !Feasible(m, []int{0}, 2.5) {
+		t.Fatal("singleton 0 should be feasible (solo SINR 20)")
+	}
+	if !Feasible(m, []int{0, 1}, 3) {
+		t.Fatal("{0,1} should be feasible at β=3")
+	}
+	if Feasible(m, []int{0, 1}, 5) {
+		t.Fatal("{0,1} should be infeasible at β=5 (γ_0=4)")
+	}
+}
+
+func TestFeasibleSubsetMonotone(t *testing.T) {
+	// Removing links can only raise SINRs: any subset of a feasible set is
+	// feasible. Property-test on random instances.
+	f := func(seed uint64) bool {
+		m := randomMatrix(t, seed, 12)
+		src := rng.New(seed ^ 0xabc)
+		set := []int{}
+		for i := 0; i < m.N; i++ {
+			if src.Bernoulli(0.35) {
+				set = append(set, i)
+			}
+		}
+		if !Feasible(m, set, 2.5) {
+			return true // premise not met
+		}
+		sub := []int{}
+		for _, i := range set {
+			if src.Bernoulli(0.5) {
+				sub = append(sub, i)
+			}
+		}
+		return Feasible(m, sub, 2.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAffectanceBasics(t *testing.T) {
+	m := mat2(t)
+	beta := 2.0
+	// a(1,0) = β·S̄(1,0)/(S̄(0,0) − β·ν) = 2·0.2/(1 − 0.1) = 4/9.
+	if got, want := Affectance(m, beta, 1, 0), 0.4/0.9; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("a(1,0) = %g, want %g", got, want)
+	}
+	if got := Affectance(m, beta, 0, 0); got != 0 {
+		t.Fatalf("self-affectance = %g", got)
+	}
+}
+
+func TestAffectanceCapped(t *testing.T) {
+	m := mat(t, [][]float64{
+		{1, 50},
+		{50, 1},
+	}, 0)
+	if got := Affectance(m, 1, 1, 0); got != 1 {
+		t.Fatalf("huge interferer affectance = %g, want cap 1", got)
+	}
+}
+
+func TestAffectanceNoiseDominated(t *testing.T) {
+	// S̄(i,i) ≤ β·ν: the link cannot reach β even alone; affectance is 1.
+	m := mat(t, [][]float64{
+		{0.5, 0},
+		{0, 0.5},
+	}, 1)
+	if got := Affectance(m, 1, 1, 0); got != 1 {
+		t.Fatalf("noise-dominated affectance = %g, want 1", got)
+	}
+}
+
+// The defining property: link i (with others in set S) satisfies the SINR
+// constraint at β exactly when Σ_{j∈S} AffectanceUncapped(j,i) ≤ 1.
+func TestAffectanceCharacterizesFeasibility(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomMatrix(t, seed, 10)
+		src := rng.New(seed ^ 0x123)
+		beta := 2.5
+		var set []int
+		for i := 0; i < m.N; i++ {
+			if src.Bernoulli(0.3) {
+				set = append(set, i)
+			}
+		}
+		if len(set) == 0 {
+			return true
+		}
+		active := SetToActive(m.N, set)
+		vals := Values(m, active)
+		for _, i := range set {
+			sum := 0.0
+			for _, j := range set {
+				if j != i {
+					sum += AffectanceUncapped(m, beta, j, i)
+				}
+			}
+			satisfied := vals[i] >= beta
+			// Exact characterization up to float round-off at the boundary.
+			if satisfied && sum > 1+1e-9 {
+				return false
+			}
+			if !satisfied && sum < 1-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Capped affectance never exceeds the uncapped value and never exceeds 1.
+func TestAffectanceCapRelation(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomMatrix(t, seed, 8)
+		for j := 0; j < m.N; j++ {
+			for i := 0; i < m.N; i++ {
+				capped := Affectance(m, 2.5, j, i)
+				raw := AffectanceUncapped(m, 2.5, j, i)
+				if capped > 1 || capped > raw+1e-15 || capped < 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// FeasibleByAffectance must agree with the direct SINR check on random
+// instances (away from the measure-zero boundary).
+func TestQuickFeasibleByAffectanceAgrees(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomMatrix(t, seed, 10)
+		src := rng.New(seed * 31)
+		var set []int
+		for i := 0; i < m.N; i++ {
+			if src.Bernoulli(0.3) {
+				set = append(set, i)
+			}
+		}
+		return Feasible(m, set, 2.5) == FeasibleByAffectance(m, set, 2.5)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFeasibleByAffectanceAgreesWhenUncapped(t *testing.T) {
+	m := mat2(t)
+	if !FeasibleByAffectance(m, []int{0, 1}, 3) {
+		t.Fatal("affectance feasibility should accept {0,1} at β=3")
+	}
+	if FeasibleByAffectance(m, []int{0, 1}, 5) {
+		t.Fatal("affectance feasibility should reject {0,1} at β=5")
+	}
+}
+
+func TestAffectanceSum(t *testing.T) {
+	m := mat2(t)
+	got := AffectanceSum(m, 2, []int{0, 1}, 0)
+	want := Affectance(m, 2, 1, 0) // self term contributes 0
+	if math.Abs(got-want) > 1e-15 {
+		t.Fatalf("AffectanceSum = %g, want %g", got, want)
+	}
+}
+
+func TestAccumulatorMatchesDirect(t *testing.T) {
+	m := randomMatrix(t, 21, 15)
+	acc := NewAccumulator(m)
+	src := rng.New(99)
+	activeSet := map[int]bool{}
+	for step := 0; step < 200; step++ {
+		j := src.Intn(m.N)
+		if activeSet[j] {
+			acc.Remove(j)
+			delete(activeSet, j)
+		} else {
+			acc.Add(j)
+			activeSet[j] = true
+		}
+		// Compare a random link's SINR against the direct computation.
+		i := src.Intn(m.N)
+		active := make([]bool, m.N)
+		for k := range activeSet {
+			active[k] = true
+		}
+		var want float64
+		if active[i] {
+			want = Value(m, active, i)
+		} else {
+			// Joining SINR: activate i temporarily.
+			active[i] = true
+			want = Value(m, active, i)
+		}
+		got := acc.SINR(i)
+		if math.IsInf(want, 1) != math.IsInf(got, 1) ||
+			(!math.IsInf(want, 1) && math.Abs(got-want) > 1e-9*(1+want)) {
+			t.Fatalf("step %d: accumulator SINR(%d) = %g, want %g", step, i, got, want)
+		}
+	}
+}
+
+func TestAccumulatorBookkeeping(t *testing.T) {
+	m := mat2(t)
+	acc := NewAccumulator(m)
+	if acc.Count() != 0 || acc.Active(0) {
+		t.Fatal("fresh accumulator not empty")
+	}
+	acc.Add(0)
+	acc.Add(1)
+	if acc.Count() != 2 || !acc.Active(1) {
+		t.Fatal("adds not recorded")
+	}
+	if got := acc.Set(); len(got) != 2 || got[0] != 0 || got[1] != 1 {
+		t.Fatalf("Set = %v", got)
+	}
+	acc.Remove(0)
+	if acc.Count() != 1 || acc.Active(0) {
+		t.Fatal("remove not recorded")
+	}
+}
+
+func TestAccumulatorPanics(t *testing.T) {
+	m := mat2(t)
+	acc := NewAccumulator(m)
+	acc.Add(0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("double Add did not panic")
+			}
+		}()
+		acc.Add(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Remove of inactive did not panic")
+			}
+		}()
+		acc.Remove(1)
+	}()
+}
+
+func TestAccumulatorAllFeasible(t *testing.T) {
+	m := mat2(t)
+	acc := NewAccumulator(m)
+	acc.Add(0)
+	acc.Add(1)
+	if !acc.AllFeasible(3) {
+		t.Fatal("AllFeasible(3) should hold")
+	}
+	if acc.AllFeasible(5) {
+		t.Fatal("AllFeasible(5) should fail (γ_0 = 4)")
+	}
+}
+
+// Removing an interferer never lowers anyone's SINR.
+func TestQuickRemovalMonotone(t *testing.T) {
+	f := func(seed uint64) bool {
+		m := randomMatrix(t, seed, 10)
+		src := rng.New(seed + 1)
+		active := make([]bool, m.N)
+		var on []int
+		for i := range active {
+			if src.Bernoulli(0.5) {
+				active[i] = true
+				on = append(on, i)
+			}
+		}
+		if len(on) < 2 {
+			return true
+		}
+		before := Values(m, active)
+		drop := on[src.Intn(len(on))]
+		active[drop] = false
+		after := Values(m, active)
+		for i := range active {
+			if active[i] && after[i] < before[i]-1e-12 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkValues100(b *testing.B) {
+	m := randomMatrix(b, 1, 100)
+	active := make([]bool, m.N)
+	for i := range active {
+		active[i] = i%2 == 0
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Values(m, active)
+	}
+}
+
+func BenchmarkAccumulatorAdd100(b *testing.B) {
+	m := randomMatrix(b, 1, 100)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		acc := NewAccumulator(m)
+		for j := 0; j < m.N; j++ {
+			acc.Add(j)
+		}
+	}
+}
