@@ -270,6 +270,40 @@ func BenchmarkSignalPartition(b *testing.B) {
 	b.ReportMetric(float64(parts), "parts")
 }
 
+// BenchmarkSampleSINRsDense draws one Rayleigh SINR realization for a fully
+// active 200-link instance through the allocation-free kernel. allocs/op must
+// report 0 — the steady-state contract the experiment inner loops rely on.
+func BenchmarkSampleSINRsDense(b *testing.B) {
+	active := make([]bool, 200)
+	for i := range active {
+		active[i] = true
+	}
+	benchSampleSINRs(b, benchMatrix(b, 23, 200), active)
+}
+
+// BenchmarkSampleSINRsSparse is the same kernel at 10% activity, the regime
+// near the Figure-1 peak where the active-index list skips most of the O(n²)
+// matrix. allocs/op must report 0.
+func BenchmarkSampleSINRsSparse(b *testing.B) {
+	active := make([]bool, 200)
+	for i := 0; i < len(active); i += 10 {
+		active[i] = true
+	}
+	benchSampleSINRs(b, benchMatrix(b, 24, 200), active)
+}
+
+func benchSampleSINRs(b *testing.B, m *network.Matrix, active []bool) {
+	b.Helper()
+	vals := make([]float64, m.N)
+	idx := make([]int, 0, m.N)
+	src := rng.New(25)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fading.SampleSINRsInto(m, active, src, vals, idx)
+	}
+}
+
 // --- Ablations (DESIGN.md "design choices called out for ablation") -----
 
 // BenchmarkAblationGreedyTau compares the affectance budget τ of the greedy

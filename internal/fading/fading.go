@@ -262,20 +262,59 @@ func ExpectedBinaryValueOfSet(m *network.Matrix, set []int, beta float64) float6
 // SampleSINRs draws one Rayleigh realization: for each transmitting link i
 // (active[i] == true), every transmitting sender's strength at receiver i is
 // drawn as an independent exponential with mean S̄(j,i), and the realized
-// SINR is returned. Inactive links report 0. Cost is O(a·n) for a active
+// SINR is returned. Inactive links report 0. Cost is O(a²) for a active
 // links.
+//
+// This convenience form allocates its result and scratch; hot loops should
+// hold buffers and call SampleSINRsInto, which draws the identical stream.
 func SampleSINRs(m *network.Matrix, active []bool, src *rng.Source) []float64 {
-	out := make([]float64, m.N)
-	for i := 0; i < m.N; i++ {
-		if !active[i] {
-			continue
+	return SampleSINRsInto(m, active, src, make([]float64, m.N), make([]int, 0, m.N))
+}
+
+// checkScratch panics unless out and idx can serve as kernel scratch for an
+// n-link matrix without growing.
+func checkScratch(n int, out []float64, idx []int) {
+	if len(out) != n {
+		panic(fmt.Sprintf("fading: SINR buffer length %d for %d links", len(out), n))
+	}
+	if cap(idx) < n {
+		panic(fmt.Sprintf("fading: index scratch capacity %d for %d links", cap(idx), n))
+	}
+}
+
+// activeIndices fills idx (sliced to zero length) with the indices of active
+// links, in increasing order, without allocating.
+func activeIndices(active []bool, idx []int) []int {
+	idx = idx[:0]
+	for i, a := range active {
+		if a {
+			idx = append(idx, i)
 		}
+	}
+	return idx
+}
+
+// SampleSINRsInto is the allocation-free kernel behind SampleSINRs: it draws
+// one Rayleigh realization into out and returns out. The caller owns the
+// scratch: out must have length m.N and idx capacity at least m.N; both may
+// be reused across calls. Only active senders and receivers are visited, so
+// one realization costs O(a²) exponential draws plus an O(n) clear of out —
+// not an O(n²) pass over the full gain matrix.
+//
+// The exponential draws happen in increasing (receiver, sender) index order
+// over the active links — exactly the order SampleSINRs has always consumed
+// its stream — so fixed-seed experiment outputs are byte-identical whichever
+// entry point is used.
+func SampleSINRsInto(m *network.Matrix, active []bool, src *rng.Source, out []float64, idx []int) []float64 {
+	checkScratch(m.N, out, idx)
+	idx = activeIndices(active, idx)
+	for i := range out {
+		out[i] = 0
+	}
+	for _, i := range idx {
 		interf := m.Noise
 		var own float64
-		for j := 0; j < m.N; j++ {
-			if !active[j] {
-				continue
-			}
+		for _, j := range idx {
 			s := src.Exp(m.G[j][i])
 			if j == i {
 				own = s
@@ -295,7 +334,8 @@ func SampleSINRs(m *network.Matrix, active []bool, src *rng.Source) []float64 {
 }
 
 // SampleSuccesses draws one Rayleigh realization and returns the indices of
-// active links whose realized SINR reaches β.
+// active links whose realized SINR reaches β. Like SampleSINRs it allocates;
+// counting loops should use CountSuccesses with reused buffers.
 func SampleSuccesses(m *network.Matrix, active []bool, beta float64, src *rng.Source) []int {
 	var ok []int
 	vals := SampleSINRs(m, active, src)
@@ -305,6 +345,21 @@ func SampleSuccesses(m *network.Matrix, active []bool, beta float64, src *rng.So
 		}
 	}
 	return ok
+}
+
+// CountSuccesses draws one Rayleigh realization and counts the active links
+// whose realized SINR reaches β. It is the allocation-free counting kernel of
+// the Monte-Carlo experiments: out and idx follow the SampleSINRsInto scratch
+// convention, and the RNG stream consumed is identical to SampleSuccesses.
+func CountSuccesses(m *network.Matrix, active []bool, beta float64, src *rng.Source, out []float64, idx []int) int {
+	vals := SampleSINRsInto(m, active, src, out, idx)
+	count := 0
+	for i, a := range active {
+		if a && vals[i] >= beta {
+			count++
+		}
+	}
+	return count
 }
 
 // MCResult is a Monte-Carlo estimate with its standard error.
@@ -330,11 +385,13 @@ func ExpectedUtilityMC(m *network.Matrix, q []float64, us []utility.Func, sample
 	}
 	var sum, sumSq float64
 	active := make([]bool, m.N)
+	vals := make([]float64, m.N)
+	idx := make([]int, 0, m.N)
 	for s := 0; s < samples; s++ {
 		for i := range active {
 			active[i] = src.Bernoulli(q[i])
 		}
-		vals := SampleSINRs(m, active, src)
+		SampleSINRsInto(m, active, src, vals, idx)
 		v := utility.Sum(us, vals)
 		sum += v
 		sumSq += v * v
@@ -360,6 +417,8 @@ func SuccessProbabilityMC(m *network.Matrix, q []float64, beta float64, i int, s
 	}
 	hits := 0
 	active := make([]bool, m.N)
+	vals := make([]float64, m.N)
+	idx := make([]int, 0, m.N)
 	for s := 0; s < samples; s++ {
 		for k := range active {
 			active[k] = src.Bernoulli(q[k])
@@ -367,7 +426,7 @@ func SuccessProbabilityMC(m *network.Matrix, q []float64, beta float64, i int, s
 		if !active[i] {
 			continue
 		}
-		vals := SampleSINRs(m, active, src)
+		SampleSINRsInto(m, active, src, vals, idx)
 		if vals[i] >= beta {
 			hits++
 		}

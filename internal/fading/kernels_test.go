@@ -1,0 +1,183 @@
+package fading
+
+import (
+	"math"
+	"testing"
+
+	"rayfade/internal/network"
+	"rayfade/internal/rng"
+)
+
+// referenceSampleSINRs is the pre-kernel implementation of SampleSINRs: a
+// full O(n²) pass over the matrix, skipping inactive pairs, allocating its
+// result. The kernels must reproduce its output draw-for-draw; keeping the
+// old loop here pins that contract against an independent implementation.
+func referenceSampleSINRs(m *network.Matrix, active []bool, src *rng.Source) []float64 {
+	out := make([]float64, m.N)
+	for i := 0; i < m.N; i++ {
+		if !active[i] {
+			continue
+		}
+		interf := m.Noise
+		var own float64
+		for j := 0; j < m.N; j++ {
+			if !active[j] {
+				continue
+			}
+			s := src.Exp(m.G[j][i])
+			if j == i {
+				own = s
+			} else {
+				interf += s
+			}
+		}
+		if interf == 0 {
+			if own > 0 {
+				out[i] = math.Inf(1)
+			}
+			continue
+		}
+		out[i] = own / interf
+	}
+	return out
+}
+
+// randomActive draws an activity vector with density p.
+func randomActive(src *rng.Source, n int, p float64) []bool {
+	active := make([]bool, n)
+	for i := range active {
+		active[i] = src.Bernoulli(p)
+	}
+	return active
+}
+
+func TestSampleSINRsIntoMatchesReference(t *testing.T) {
+	for _, n := range []int{1, 7, 40, 100} {
+		m := randomMatrix(t, uint64(n), n)
+		vals := make([]float64, n)
+		idx := make([]int, 0, n)
+		setup := rng.New(uint64(100 + n))
+		for _, density := range []float64{0, 0.1, 0.5, 1} {
+			active := randomActive(setup, n, density)
+			src := rng.New(uint64(7 * n))
+			want := referenceSampleSINRs(m, active, src.Clone())
+			got := SampleSINRsInto(m, active, src.Clone(), vals, idx)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("n=%d density=%.1f link %d: kernel %g, reference %g", n, density, i, got[i], want[i])
+				}
+			}
+			// The two paths must also leave the stream at the same position.
+			ref, ker := src.Clone(), src.Clone()
+			referenceSampleSINRs(m, active, ref)
+			SampleSINRsInto(m, active, ker, vals, idx)
+			if ref.Uint64() != ker.Uint64() {
+				t.Fatalf("n=%d density=%.1f: kernel consumed a different number of draws", n, density)
+			}
+		}
+	}
+}
+
+func TestSampleSINRsWrapperMatchesKernel(t *testing.T) {
+	m := randomMatrix(t, 3, 50)
+	active := randomActive(rng.New(4), 50, 0.6)
+	src := rng.New(5)
+	a := SampleSINRs(m, active, src.Clone())
+	b := SampleSINRsInto(m, active, src.Clone(), make([]float64, 50), make([]int, 0, 50))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("link %d: wrapper %g, kernel %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestCountSuccessesMatchesSampleSuccesses(t *testing.T) {
+	m := randomMatrix(t, 6, 80)
+	vals := make([]float64, 80)
+	idx := make([]int, 0, 80)
+	setup := rng.New(7)
+	for trial := 0; trial < 20; trial++ {
+		active := randomActive(setup, 80, setup.Float64())
+		src := rng.New(uint64(1000 + trial))
+		want := len(SampleSuccesses(m, active, 2.5, src.Clone()))
+		got := CountSuccesses(m, active, 2.5, src.Clone(), vals, idx)
+		if want != got {
+			t.Fatalf("trial %d: CountSuccesses %d, SampleSuccesses %d", trial, got, want)
+		}
+	}
+}
+
+func TestSampleSINRsWithIntoMatchesAllocatingForm(t *testing.T) {
+	m := randomMatrix(t, 8, 60)
+	active := randomActive(rng.New(9), 60, 0.5)
+	vals := make([]float64, 60)
+	idx := make([]int, 0, 60)
+	for _, sampler := range []GainSampler{RayleighGains{}, NakagamiGains{M: 2}, NonFadingGains{}} {
+		src := rng.New(10)
+		want := SampleSINRsWith(m, active, sampler, src.Clone())
+		got := SampleSINRsWithInto(m, active, sampler, src.Clone(), vals, idx)
+		for i := range want {
+			if want[i] != got[i] {
+				t.Fatalf("%s link %d: kernel %g, allocating form %g", sampler.Name(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestRayleighKernelMatchesGenericKernel pins that the specialized Rayleigh
+// kernel and the GainSampler-generic kernel consume the identical stream, so
+// experiments may switch between them without breaking fixed-seed outputs.
+func TestRayleighKernelMatchesGenericKernel(t *testing.T) {
+	m := randomMatrix(t, 11, 60)
+	active := randomActive(rng.New(12), 60, 0.7)
+	src := rng.New(13)
+	a := SampleSINRsInto(m, active, src.Clone(), make([]float64, 60), make([]int, 0, 60))
+	b := SampleSINRsWithInto(m, active, RayleighGains{}, src.Clone(), make([]float64, 60), make([]int, 0, 60))
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("link %d: rayleigh kernel %g, generic kernel %g", i, a[i], b[i])
+		}
+	}
+}
+
+func TestKernelsAllocationFree(t *testing.T) {
+	m := randomMatrix(t, 14, 100)
+	active := randomActive(rng.New(15), 100, 0.5)
+	vals := make([]float64, 100)
+	idx := make([]int, 0, 100)
+	src := rng.New(16)
+	if allocs := testing.AllocsPerRun(50, func() {
+		SampleSINRsInto(m, active, src, vals, idx)
+	}); allocs != 0 {
+		t.Errorf("SampleSINRsInto allocates %.1f objects per run", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		CountSuccesses(m, active, 2.5, src, vals, idx)
+	}); allocs != 0 {
+		t.Errorf("CountSuccesses allocates %.1f objects per run", allocs)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		SampleSINRsWithInto(m, active, RayleighGains{}, src, vals, idx)
+	}); allocs != 0 {
+		t.Errorf("SampleSINRsWithInto allocates %.1f objects per run", allocs)
+	}
+}
+
+func TestKernelScratchValidation(t *testing.T) {
+	m := randomMatrix(t, 17, 10)
+	active := make([]bool, 10)
+	src := rng.New(18)
+	for name, fn := range map[string]func(){
+		"short out": func() { SampleSINRsInto(m, active, src, make([]float64, 9), make([]int, 0, 10)) },
+		"short idx": func() { SampleSINRsInto(m, active, src, make([]float64, 10), make([]int, 0, 9)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -66,19 +66,27 @@ func (NonFadingGains) Name() string { return "non-fading" }
 
 // SampleSINRsWith draws one fading realization under an arbitrary fading
 // model and returns per-link SINRs; inactive links report 0. With
-// RayleighGains it matches SampleSINRs draw-for-draw.
+// RayleighGains it matches SampleSINRs draw-for-draw. It allocates; hot
+// loops should hold buffers and call SampleSINRsWithInto.
 func SampleSINRsWith(m *network.Matrix, active []bool, sampler GainSampler, src *rng.Source) []float64 {
-	out := make([]float64, m.N)
-	for i := 0; i < m.N; i++ {
-		if !active[i] {
-			continue
-		}
+	return SampleSINRsWithInto(m, active, sampler, src, make([]float64, m.N), make([]int, 0, m.N))
+}
+
+// SampleSINRsWithInto is the allocation-free kernel behind SampleSINRsWith,
+// following the SampleSINRsInto scratch convention: out must have length m.N,
+// idx capacity at least m.N, and only active sender/receiver pairs are
+// visited, in the same increasing index order as SampleSINRsWith has always
+// drawn them.
+func SampleSINRsWithInto(m *network.Matrix, active []bool, sampler GainSampler, src *rng.Source, out []float64, idx []int) []float64 {
+	checkScratch(m.N, out, idx)
+	idx = activeIndices(active, idx)
+	for i := range out {
+		out[i] = 0
+	}
+	for _, i := range idx {
 		interf := m.Noise
 		var own float64
-		for j := 0; j < m.N; j++ {
-			if !active[j] {
-				continue
-			}
+		for _, j := range idx {
 			s := sampler.SampleGain(m.G[j][i], src)
 			if j == i {
 				own = s

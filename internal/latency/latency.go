@@ -52,12 +52,46 @@ func (NonFading) Successes(m *network.Matrix, active []bool, beta float64) []int
 // Name implements SuccessModel.
 func (NonFading) Name() string { return "non-fading" }
 
-// Rayleigh draws an exponential fading realization per slot.
-type Rayleigh struct{ Src *rng.Source }
+// Rayleigh draws an exponential fading realization per slot. The zero-ish
+// literal form Rayleigh{Src: src} works everywhere but allocates per slot;
+// NewRayleigh attaches reusable kernel scratch for allocation-free slots.
+type Rayleigh struct {
+	Src *rng.Source
+	s   *rayleighScratch
+}
+
+type rayleighScratch struct {
+	vals []float64
+	idx  []int
+	succ []int
+}
+
+// NewRayleigh returns a Rayleigh model with preallocated scratch for n-link
+// matrices, making every Successes call allocation-free. The returned
+// success slice is only valid until the next call on the same model — the
+// schedulers in this package all consume it immediately.
+func NewRayleigh(src *rng.Source, n int) Rayleigh {
+	return Rayleigh{Src: src, s: &rayleighScratch{
+		vals: make([]float64, n),
+		idx:  make([]int, 0, n),
+		succ: make([]int, 0, n),
+	}}
+}
 
 // Successes implements SuccessModel.
 func (r Rayleigh) Successes(m *network.Matrix, active []bool, beta float64) []int {
-	return fading.SampleSuccesses(m, active, beta, r.Src)
+	if r.s == nil || len(r.s.vals) != m.N {
+		return fading.SampleSuccesses(m, active, beta, r.Src)
+	}
+	vals := fading.SampleSINRsInto(m, active, r.Src, r.s.vals, r.s.idx)
+	succ := r.s.succ[:0]
+	for i, a := range active {
+		if a && vals[i] >= beta {
+			succ = append(succ, i)
+		}
+	}
+	r.s.succ = succ
+	return succ
 }
 
 // Name implements SuccessModel.

@@ -1,0 +1,153 @@
+package progress
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounters(t *testing.T) {
+	tr := New("exp", nil)
+	tr.AddTotal(10)
+	tr.AddTotal(5)
+	for i := 0; i < 6; i++ {
+		tr.ReplicationDone()
+	}
+	tr.AddRealizations(1000)
+	tr.AddRealizations(234)
+	s := tr.Snapshot()
+	if s.Total != 15 || s.Done != 6 || s.Realizations != 1234 {
+		t.Fatalf("snapshot %+v", s)
+	}
+	if s.Label != "exp" {
+		t.Fatalf("label %q", s.Label)
+	}
+	if s.Elapsed <= 0 {
+		t.Fatalf("elapsed %v", s.Elapsed)
+	}
+	if s.ETA <= 0 {
+		t.Fatalf("ETA %v should be positive with work remaining", s.ETA)
+	}
+}
+
+func TestETAZeroBeforeFirstReplication(t *testing.T) {
+	tr := New("exp", nil)
+	tr.AddTotal(10)
+	if eta := tr.Snapshot().ETA; eta != 0 {
+		t.Fatalf("ETA %v before any replication completed", eta)
+	}
+}
+
+func TestNilTrackerIsSafe(t *testing.T) {
+	var tr *Tracker
+	tr.AddTotal(3)
+	tr.ReplicationDone()
+	tr.AddRealizations(7)
+	tr.Start(time.Second)
+	tr.Stop()
+	if s := tr.Snapshot(); s != (Snapshot{}) {
+		t.Fatalf("nil tracker snapshot %+v", s)
+	}
+}
+
+func TestConcurrentCounting(t *testing.T) {
+	tr := New("exp", nil)
+	tr.AddTotal(64)
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				tr.ReplicationDone()
+				tr.AddRealizations(100)
+			}
+		}()
+	}
+	wg.Wait()
+	s := tr.Snapshot()
+	if s.Done != 64 || s.Realizations != 6400 {
+		t.Fatalf("snapshot %+v", s)
+	}
+}
+
+func TestStopPrintsFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New("figure1", &buf)
+	tr.AddTotal(4)
+	tr.ReplicationDone()
+	tr.AddRealizations(2_500_000)
+	tr.Start(time.Hour) // interval never fires; only the final line prints
+	tr.Stop()
+	out := buf.String()
+	if !strings.Contains(out, "figure1: 1/4 replications") {
+		t.Fatalf("final line %q lacks replication counts", out)
+	}
+	if !strings.Contains(out, "2.50M realizations") {
+		t.Fatalf("final line %q lacks realization count", out)
+	}
+	// A second Stop on an already-stopped tracker is safe and prints again.
+	tr.Stop()
+}
+
+func TestPeriodicReporting(t *testing.T) {
+	var buf safeBuffer
+	tr := New("exp", &buf)
+	tr.AddTotal(2)
+	tr.Start(5 * time.Millisecond)
+	deadline := time.Now().Add(2 * time.Second)
+	for buf.Len() == 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	tr.Stop()
+	if !strings.Contains(buf.String(), "exp: 0/2 replications") {
+		t.Fatalf("periodic output %q", buf.String())
+	}
+}
+
+func TestSnapshotStringOmitsEmptySections(t *testing.T) {
+	s := Snapshot{Label: "x", Done: 0, Total: 0, Elapsed: 3 * time.Second}
+	out := s.String()
+	if strings.Contains(out, "realizations") || strings.Contains(out, "eta") || strings.Contains(out, "%") {
+		t.Fatalf("zero-value snapshot renders optional sections: %q", out)
+	}
+}
+
+func TestCountString(t *testing.T) {
+	for n, want := range map[int64]string{
+		12:            "12",
+		1_500:         "1.5k",
+		2_500_000:     "2.50M",
+		3_000_000_000: "3.00G",
+	} {
+		if got := countString(n); got != want {
+			t.Errorf("countString(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+// safeBuffer serializes access between the reporter goroutine and the test.
+type safeBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *safeBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *safeBuffer) Len() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Len()
+}
+
+func (b *safeBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}

@@ -106,5 +106,6 @@ func NewGameWithLearners(m *network.Matrix, beta float64, model Model, learners 
 	if len(learners) != m.N {
 		panic(fmt.Sprintf("regret: %d learners for %d links", len(learners), m.N))
 	}
-	return &Game{m: m, beta: beta, model: model, learners: learners, src: src}
+	return &Game{m: m, beta: beta, model: model, learners: learners, src: src,
+		sinrBuf: make([]float64, m.N), idxBuf: make([]int, 0, m.N)}
 }

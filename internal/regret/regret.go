@@ -160,6 +160,11 @@ type Game struct {
 	model    Model
 	learners []Learner
 	src      *rng.Source
+	// sinrBuf/idxBuf are per-game kernel scratch: step evaluates one SINR
+	// realization per round into them instead of allocating, which is what
+	// keeps long Figure-2 runs off the garbage collector.
+	sinrBuf []float64
+	idxBuf  []int
 }
 
 // NewGame creates a game over the matrix at threshold beta, equipping every
@@ -174,7 +179,8 @@ func NewGame(m *network.Matrix, beta float64, model Model, src *rng.Source) *Gam
 	for i := range learners {
 		learners[i] = NewRWM()
 	}
-	return &Game{m: m, beta: beta, model: model, learners: learners, src: src}
+	return &Game{m: m, beta: beta, model: model, learners: learners, src: src,
+		sinrBuf: make([]float64, m.N), idxBuf: make([]int, 0, m.N)}
 }
 
 // Learners exposes the per-link learners (for tests and probability
@@ -193,12 +199,12 @@ func (g *Game) step() Round {
 		sent[i] = chosen[i] == Send
 	}
 	avgProb /= float64(n)
-	// Realized SINRs of the transmitting set.
+	// Realized SINRs of the transmitting set, into the per-game scratch.
 	var vals []float64
 	if g.model == Rayleigh {
-		vals = fading.SampleSINRs(g.m, sent, g.src)
+		vals = fading.SampleSINRsInto(g.m, sent, g.src, g.sinrBuf, g.idxBuf)
 	} else {
-		vals = sinr.Values(g.m, sent)
+		vals = sinr.ValuesInto(g.m, sent, g.sinrBuf)
 	}
 	succeeded := make([]bool, n)
 	successes := 0

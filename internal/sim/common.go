@@ -13,3 +13,22 @@ func squareArea(side float64) geom.Rect { return geom.Square(side) }
 func countNonFading(m *network.Matrix, active []bool, beta float64) int {
 	return sinr.CountSuccesses(m, active, beta)
 }
+
+// countNonFadingInto is the buffer-reusing variant of countNonFading: vals
+// must have length m.N and is overwritten.
+func countNonFadingInto(m *network.Matrix, active []bool, beta float64, vals []float64) int {
+	sinr.ValuesInto(m, active, vals)
+	count := 0
+	for i, a := range active {
+		if a && vals[i] >= beta {
+			count++
+		}
+	}
+	return count
+}
+
+// tickRealizations batches fading-realization counts into the installed
+// progress tracker, if any.
+func tickRealizations(n int) {
+	activeTracker().AddRealizations(n)
+}

@@ -89,15 +89,17 @@ func RunFadingSweep(cfg FadingSweepConfig) *FadingSweepResult {
 		q := fading.UniformProbs(m.N, cfg.Prob)
 		out.rl.Add(fading.ExpectedSuccessesExact(m, q, cfg.Beta))
 		active := make([]bool, m.N)
+		vals := make([]float64, m.N)
+		idx := make([]int, 0, m.N)
 		for ts := 0; ts < cfg.TransmitSeeds; ts++ {
 			for i := range active {
 				active[i] = src.Bernoulli(cfg.Prob)
 			}
-			out.nf.Add(float64(countNonFading(m, active, cfg.Beta)))
+			out.nf.Add(float64(countNonFadingInto(m, active, cfg.Beta, vals)))
 			for si, shape := range cfg.Shapes {
 				sampler := fading.NakagamiGains{M: shape}
 				for fs := 0; fs < cfg.FadingSeeds; fs++ {
-					vals := fading.SampleSINRsWith(m, active, sampler, src)
+					fading.SampleSINRsWithInto(m, active, sampler, src, vals, idx)
 					count := 0
 					for i, a := range active {
 						if a && vals[i] >= cfg.Beta {
@@ -106,6 +108,7 @@ func RunFadingSweep(cfg FadingSweepConfig) *FadingSweepResult {
 					}
 					out.perShape.Observe(si, float64(count))
 				}
+				tickRealizations(cfg.FadingSeeds)
 			}
 		}
 		return out

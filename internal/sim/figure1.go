@@ -164,22 +164,27 @@ func RunFigure1(cfg Figure1Config) *Figure1Result {
 		if err != nil {
 			panic(fmt.Sprintf("sim: figure 1 network generation: %v", err))
 		}
+		// One set of scratch buffers per replication: the kernels below are
+		// allocation-free, so the inner loops touch the heap not at all.
+		active := make([]bool, cfg.Links)
+		vals := make([]float64, cfg.Links)
+		idx := make([]int, 0, cfg.Links)
 		for _, pw := range powers {
 			m := net.Clone().ApplyPower(pw.pa).Gains()
 			nfKey, rlKey := pw.name+"/non-fading", pw.name+"/rayleigh"
 			for pi, p := range cfg.Probs {
 				q := fading.UniformProbs(m.N, p)
 				for ts := 0; ts < cfg.TransmitSeeds; ts++ {
-					active := make([]bool, m.N)
 					for i := range active {
 						active[i] = src.Bernoulli(q[i])
 					}
-					nf := countNonFading(m, active, cfg.Beta)
+					nf := countNonFadingInto(m, active, cfg.Beta, vals)
 					out.curves[nfKey].Observe(pi, float64(nf))
 					for fs := 0; fs < cfg.FadingSeeds; fs++ {
-						rl := len(fading.SampleSuccesses(m, active, cfg.Beta, src))
+						rl := fading.CountSuccesses(m, active, cfg.Beta, src, vals, idx)
 						out.curves[rlKey].Observe(pi, float64(rl))
 					}
+					tickRealizations(cfg.FadingSeeds)
 				}
 			}
 		}
@@ -211,12 +216,16 @@ func (r *Figure1Result) CurveNames() []string {
 }
 
 // Peak returns, for a curve, the probability with the highest mean success
-// count and that mean.
-func (r *Figure1Result) Peak(curve string) (prob, mean float64) {
+// count and that mean. It errors on an unknown curve name and on a curve
+// with no observations (where ArgmaxMean has no well-defined index).
+func (r *Figure1Result) Peak(curve string) (prob, mean float64, err error) {
 	s, ok := r.Curves[curve]
 	if !ok {
-		panic(fmt.Sprintf("sim: unknown curve %q", curve))
+		return 0, 0, fmt.Errorf("sim: unknown curve %q", curve)
 	}
 	i := s.ArgmaxMean()
-	return r.Probs[i], s.Acc[i].Mean()
+	if i < 0 {
+		return 0, 0, fmt.Errorf("sim: curve %q has no observations", curve)
+	}
+	return r.Probs[i], s.Acc[i].Mean(), nil
 }

@@ -153,6 +153,7 @@ func RunFigure2(cfg Figure2Config) *Figure2Result {
 		}
 		histNF := cfg.newGame(m, regret.NonFading, src.Split()).Run(cfg.Rounds)
 		histRL := cfg.newGame(m, regret.Rayleigh, src.Split()).Run(cfg.Rounds)
+		tickRealizations(cfg.Rounds) // one Rayleigh realization per learning round
 		for t, s := range histNF.SuccessSeries() {
 			out.nf.Observe(t, float64(s))
 		}

@@ -90,8 +90,11 @@ func RunLatency(cfg LatencyConfig) *LatencyResult {
 		out.schedLen.Add(float64(len(sched)))
 		maxSlots := 4096 * cfg.Links
 		for trial := 0; trial < cfg.Trials; trial++ {
+			// NewRayleigh carries per-model scratch so the per-slot fading
+			// draws allocate nothing; the Split() call sites keep their
+			// seed-era positions so fixed-seed outputs are unchanged.
 			slots, done := latency.RepeatUntilDone(m, sched, cfg.Beta,
-				transform.AlohaRepeats, 10000, latency.Rayleigh{Src: src.Split()})
+				transform.AlohaRepeats, 10000, latency.NewRayleigh(src.Split(), m.N))
 			if done {
 				out.schedRL.Add(float64(slots))
 			} else {
@@ -104,7 +107,7 @@ func RunLatency(cfg LatencyConfig) *LatencyResult {
 			fadeSrc := src.Split()
 			b := latency.Aloha(m, cfg.Beta,
 				latency.AlohaConfig{Prob: cfg.AlohaProb, Repeats: transform.AlohaRepeats, MaxSlots: maxSlots},
-				src.Split(), latency.Rayleigh{Src: fadeSrc})
+				src.Split(), latency.NewRayleigh(fadeSrc, m.N))
 			record(&out.alohaRL, &out.incomplete, b)
 			bo := latency.DefaultBackoff
 			bo.MaxSlots = maxSlots
@@ -112,7 +115,7 @@ func RunLatency(cfg LatencyConfig) *LatencyResult {
 			record(&out.backoffNF, &out.incomplete, c)
 			bo.Repeats = transform.AlohaRepeats
 			fadeSrc2 := src.Split()
-			d := latency.BackoffAloha(m, cfg.Beta, bo, src.Split(), latency.Rayleigh{Src: fadeSrc2})
+			d := latency.BackoffAloha(m, cfg.Beta, bo, src.Split(), latency.NewRayleigh(fadeSrc2, m.N))
 			record(&out.backoffRL, &out.incomplete, d)
 		}
 		return out

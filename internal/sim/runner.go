@@ -15,9 +15,31 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
+	"rayfade/internal/progress"
 	"rayfade/internal/rng"
 )
+
+// tracker, when set, receives replication- and realization-level
+// notifications from every experiment in the package. It is process-global
+// rather than per-config because one CLI invocation runs one experiment; the
+// atomic pointer keeps Parallel's worker goroutines race-free against
+// SetProgress.
+var tracker atomic.Pointer[progress.Tracker]
+
+// SetProgress installs (or, with nil, removes) the progress tracker observed
+// by Parallel and the experiment inner loops. The CLI's -progress flag is
+// its only intended caller.
+func SetProgress(t *progress.Tracker) {
+	tracker.Store(t)
+}
+
+// activeTracker returns the installed tracker, or nil. All progress.Tracker
+// methods are nil-safe, so call sites never branch.
+func activeTracker() *progress.Tracker {
+	return tracker.Load()
+}
 
 // Parallel runs fn for reps replications on up to workers goroutines and
 // returns the per-replication results in replication order.
@@ -25,6 +47,10 @@ import (
 // Determinism: the RNG streams are split from base sequentially before any
 // goroutine starts, so the result for replication r does not depend on the
 // worker count or scheduling. workers ≤ 0 selects GOMAXPROCS.
+//
+// When a progress tracker is installed via SetProgress, Parallel registers
+// reps expected replications up front and reports each completion, giving
+// long runs an elapsed/ETA readout at no cost to the replication hot path.
 func Parallel[T any](reps, workers int, base *rng.Source, fn func(rep int, src *rng.Source) T) []T {
 	if reps < 0 {
 		panic(fmt.Sprintf("sim: negative replication count %d", reps))
@@ -39,10 +65,13 @@ func Parallel[T any](reps, workers int, base *rng.Source, fn func(rep int, src *
 	if reps == 0 {
 		return results
 	}
+	t := activeTracker()
+	t.AddTotal(reps)
 	srcs := base.SplitN(reps)
 	if workers <= 1 {
 		for r := 0; r < reps; r++ {
 			results[r] = fn(r, srcs[r])
+			t.ReplicationDone()
 		}
 		return results
 	}
@@ -54,6 +83,7 @@ func Parallel[T any](reps, workers int, base *rng.Source, fn func(rep int, src *
 			defer wg.Done()
 			for r := range jobs {
 				results[r] = fn(r, srcs[r])
+				t.ReplicationDone()
 			}
 		}()
 	}

@@ -115,15 +115,18 @@ func RunShannon(cfg ShannonConfig) *ShannonResult {
 			out.exact = stats.NewSeries(cfg.Probs)
 		}
 		active := make([]bool, m.N)
+		vals := make([]float64, m.N)
+		idx := make([]int, 0, m.N)
 		for pi, p := range cfg.Probs {
 			for ts := 0; ts < cfg.TransmitSeeds; ts++ {
 				for i := range active {
 					active[i] = src.Bernoulli(p)
 				}
-				out.nf.Observe(pi, utility.Sum(us, sinr.Values(m, active)))
+				out.nf.Observe(pi, utility.Sum(us, sinr.ValuesInto(m, active, vals)))
 				for fs := 0; fs < cfg.FadingSeeds; fs++ {
-					out.rl.Observe(pi, utility.Sum(us, fading.SampleSINRs(m, active, src)))
+					out.rl.Observe(pi, utility.Sum(us, fading.SampleSINRsInto(m, active, src, vals, idx)))
 				}
+				tickRealizations(cfg.FadingSeeds)
 			}
 			if cfg.Exact {
 				q := fading.UniformProbs(m.N, p)

@@ -2,10 +2,10 @@ package sim
 
 import (
 	"bytes"
-	"math"
 	"strings"
 	"testing"
 
+	"rayfade/internal/progress"
 	"rayfade/internal/rng"
 	"rayfade/internal/stats"
 )
@@ -43,6 +43,31 @@ func TestParallelEdgeCases(t *testing.T) {
 		}()
 		Parallel(-1, 1, rng.New(1), func(int, *rng.Source) int { return 0 })
 	}()
+}
+
+func TestParallelNotifiesTracker(t *testing.T) {
+	tr := progress.New("test", nil)
+	SetProgress(tr)
+	defer SetProgress(nil)
+	Parallel(12, 4, rng.New(3), func(rep int, _ *rng.Source) int { return rep })
+	if s := tr.Snapshot(); s.Total != 12 || s.Done != 12 {
+		t.Fatalf("tracker saw %d/%d replications, want 12/12", s.Done, s.Total)
+	}
+}
+
+func TestFigure1CountsRealizations(t *testing.T) {
+	tr := progress.New("test", nil)
+	SetProgress(tr)
+	defer SetProgress(nil)
+	cfg := smallFig1()
+	cfg.Workers = 2
+	RunFigure1(cfg)
+	// One batch of FadingSeeds realizations per (network, assignment, prob,
+	// transmit seed), with two probability assignments (uniform and sqrt).
+	want := int64(cfg.Networks * 2 * len(cfg.Probs) * cfg.TransmitSeeds * cfg.FadingSeeds)
+	if s := tr.Snapshot(); s.Realizations != want {
+		t.Fatalf("tracker saw %d realizations, want %d", s.Realizations, want)
+	}
 }
 
 // smallFig1 is a scaled-down Figure-1 config that runs in well under a
@@ -88,15 +113,24 @@ func TestRunFigure1Shapes(t *testing.T) {
 }
 
 func TestRunFigure1Deterministic(t *testing.T) {
-	cfg := smallFig1()
-	a := RunFigure1(cfg)
-	cfg.Workers = 1
-	b := RunFigure1(cfg)
-	for _, name := range a.CurveNames() {
-		am, bm := a.Curves[name].Means(), b.Curves[name].Means()
-		for i := range am {
-			if math.Abs(am[i]-bm[i]) > 1e-12 {
-				t.Fatalf("%s point %d differs across worker counts: %g vs %g", name, i, am[i], bm[i])
+	// Replication RNG streams are pre-split before fan-out and per-replication
+	// series merge in replication order, so the result must be bit-identical
+	// for any worker count — including the default (all cores).
+	base := smallFig1()
+	results := make([]*Figure1Result, 0, 3)
+	for _, workers := range []int{1, 8, 0} {
+		cfg := base
+		cfg.Workers = workers
+		results = append(results, RunFigure1(cfg))
+	}
+	a := results[0]
+	for _, b := range results[1:] {
+		for _, name := range a.CurveNames() {
+			am, bm := a.Curves[name].Means(), b.Curves[name].Means()
+			for i := range am {
+				if am[i] != bm[i] {
+					t.Fatalf("%s point %d differs across worker counts: %g vs %g", name, i, am[i], bm[i])
+				}
 			}
 		}
 	}
@@ -126,21 +160,33 @@ func TestRunFigure1QualitativeShape(t *testing.T) {
 	// Both curves rise then fall (unimodal up to noise): the peak is not at
 	// the endpoints.
 	for _, curve := range []string{CurveUniformNonFading, CurveUniformRayleigh} {
-		p, _ := res.Peak(curve)
+		p, _, err := res.Peak(curve)
+		if err != nil {
+			t.Fatalf("Peak(%s): %v", curve, err)
+		}
 		if p == cfg.Probs[0] {
 			t.Fatalf("%s peaks at the left endpoint", curve)
 		}
 	}
 }
 
-func TestFigure1PeakPanicsOnUnknownCurve(t *testing.T) {
+func TestFigure1PeakErrorsOnUnknownCurve(t *testing.T) {
 	res := RunFigure1(smallFig1())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	res.Peak("nope")
+	if _, _, err := res.Peak("nope"); err == nil {
+		t.Fatal("expected error for unknown curve")
+	}
+}
+
+func TestFigure1PeakErrorsOnEmptySeries(t *testing.T) {
+	// A curve over an empty x-grid has no argmax: Peak must surface a clear
+	// error rather than the former panic on Probs[-1].
+	res := &Figure1Result{
+		Probs:  nil,
+		Curves: map[string]*stats.Series{CurveUniformRayleigh: stats.NewSeries(nil)},
+	}
+	if _, _, err := res.Peak(CurveUniformRayleigh); err == nil {
+		t.Fatal("expected error for empty series")
+	}
 }
 
 func smallFig2() Figure2Config {

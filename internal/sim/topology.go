@@ -138,18 +138,22 @@ func RunTopology(cfg TopologyConfig) *TopologyResult {
 	return res
 }
 
-// observeCurves fills a non-fading and a Rayleigh series for one matrix.
+// observeCurves fills a non-fading and a Rayleigh series for one matrix,
+// reusing one set of kernel scratch buffers across all draws.
 func observeCurves(nf, rl *stats.Series, m *network.Matrix, cfg TopologyConfig, src *rng.Source) {
 	active := make([]bool, m.N)
+	vals := make([]float64, m.N)
+	idx := make([]int, 0, m.N)
 	for pi, p := range cfg.Probs {
 		for ts := 0; ts < cfg.TransmitSeeds; ts++ {
 			for i := range active {
 				active[i] = src.Bernoulli(p)
 			}
-			nf.Observe(pi, float64(countNonFading(m, active, cfg.Beta)))
+			nf.Observe(pi, float64(countNonFadingInto(m, active, cfg.Beta, vals)))
 			for fs := 0; fs < cfg.FadingSeeds; fs++ {
-				rl.Observe(pi, float64(len(fading.SampleSuccesses(m, active, cfg.Beta, src))))
+				rl.Observe(pi, float64(fading.CountSuccesses(m, active, cfg.Beta, src, vals, idx)))
 			}
+			tickRealizations(cfg.FadingSeeds)
 		}
 	}
 }

@@ -42,9 +42,19 @@ func Value(m *network.Matrix, active []bool, i int) float64 {
 // Values returns the SINR of every link under the given activity vector;
 // inactive links report 0.
 func Values(m *network.Matrix, active []bool) []float64 {
-	out := make([]float64, m.N)
-	// Total received power at each receiver in one pass, then subtract the
-	// own signal: O(n²) instead of O(n³) for the naive per-link loop.
+	return ValuesInto(m, active, make([]float64, m.N))
+}
+
+// ValuesInto computes the per-link SINRs into the caller-owned buffer out
+// (length m.N) and returns it, allocating nothing. Hot Monte-Carlo loops
+// reuse one buffer across calls.
+func ValuesInto(m *network.Matrix, active []bool, out []float64) []float64 {
+	if len(out) != m.N {
+		panic(fmt.Sprintf("sinr: SINR buffer length %d for %d links", len(out), m.N))
+	}
+	for i := range out {
+		out[i] = 0
+	}
 	for i := 0; i < m.N; i++ {
 		if !active[i] {
 			continue

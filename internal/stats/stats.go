@@ -159,7 +159,9 @@ func Mean(vs []float64) float64 {
 
 // Quantile returns the q-quantile (0 ≤ q ≤ 1) of vs using linear
 // interpolation between order statistics. It copies and sorts its input.
-// It panics on an empty slice or a q outside [0,1].
+// It panics on an empty slice, a q outside [0,1], or a NaN observation:
+// NaN compares false against everything, so it would land at an arbitrary
+// sort position and silently poison the interpolated result.
 func Quantile(vs []float64, q float64) float64 {
 	if len(vs) == 0 {
 		panic("stats: Quantile of empty slice")
@@ -168,6 +170,11 @@ func Quantile(vs []float64, q float64) float64 {
 		panic(fmt.Sprintf("stats: Quantile fraction %g outside [0,1]", q))
 	}
 	sorted := append([]float64(nil), vs...)
+	for i, v := range sorted {
+		if math.IsNaN(v) {
+			panic(fmt.Sprintf("stats: Quantile input %d is NaN", i))
+		}
+	}
 	sort.Float64s(sorted)
 	if len(sorted) == 1 {
 		return sorted[0]
@@ -185,6 +192,7 @@ type Histogram struct {
 	Counts   []int
 	Under    int // observations below Lo
 	Over     int // observations above Hi
+	NaN      int // NaN observations, counted apart from every bin
 	binWidth float64
 }
 
@@ -199,9 +207,14 @@ func NewHistogram(lo, hi float64, bins int) *Histogram {
 	return &Histogram{Lo: lo, Hi: hi, Counts: make([]int, bins), binWidth: (hi - lo) / float64(bins)}
 }
 
-// Add records one observation.
+// Add records one observation. NaN observations go to the NaN counter: a
+// NaN would fall through every range comparison into the binning arithmetic,
+// where float-to-int conversion of NaN is implementation-defined and would
+// corrupt an arbitrary bin (or panic on an out-of-range index).
 func (h *Histogram) Add(v float64) {
 	switch {
+	case math.IsNaN(v):
+		h.NaN++
 	case v < h.Lo:
 		h.Under++
 	case v > h.Hi:

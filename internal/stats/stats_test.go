@@ -153,6 +153,9 @@ func TestQuantilePanics(t *testing.T) {
 		func() { Quantile(nil, 0.5) },
 		func() { Quantile([]float64{1}, -0.1) },
 		func() { Quantile([]float64{1}, 1.1) },
+		// A NaN observation would sort to an arbitrary position and silently
+		// poison the interpolated result; it must be rejected loudly.
+		func() { Quantile([]float64{1, math.NaN(), 3}, 0.5) },
 	} {
 		func() {
 			defer func() {
@@ -182,6 +185,24 @@ func TestHistogram(t *testing.T) {
 	}
 	if h.Counts[0] != 2 { // 0 and 1.9
 		t.Fatalf("first bin = %d (counts %v)", h.Counts[0], h.Counts)
+	}
+}
+
+func TestHistogramNaN(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	h.Add(math.NaN())
+	h.Add(5)
+	h.Add(math.NaN())
+	if h.NaN != 2 {
+		t.Fatalf("NaN counter = %d, want 2", h.NaN)
+	}
+	// NaNs must not leak into any bin or the under/over counters.
+	if h.Under != 0 || h.Over != 0 || h.Total() != 1 {
+		t.Fatalf("NaNs corrupted bins: under=%d over=%d total=%d counts=%v",
+			h.Under, h.Over, h.Total(), h.Counts)
+	}
+	if h.Counts[2] != 1 {
+		t.Fatalf("in-range observation misplaced: counts %v", h.Counts)
 	}
 }
 
