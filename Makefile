@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race bench cover figures results clean
+.PHONY: all build vet test race bench cover figures results serve fuzz clean
 
 all: build vet test
 
@@ -43,6 +43,14 @@ results: figures
 	$(GO) run ./cmd/raysched shannon             > results/shannon.md
 	$(GO) run ./cmd/raysched latency -trials 3   > results/latency.txt
 	$(GO) run ./cmd/raysched baseline            > results/baseline.txt
+
+# Run the scheduling daemon on :8080.
+serve: build
+	$(GO) run ./cmd/rayschedd -addr :8080
+
+# Fuzz the topology reader (the daemon's hostile-input surface).
+fuzz:
+	$(GO) test ./internal/netio/ -fuzz FuzzReadNetwork -fuzztime 30s
 
 clean:
 	$(GO) clean -testcache

@@ -28,6 +28,7 @@ import (
 	"rayfade/internal/netio"
 	"rayfade/internal/network"
 	"rayfade/internal/rng"
+	"rayfade/internal/version"
 )
 
 func main() {
@@ -57,8 +58,16 @@ func run(args []string, stdout *os.File) error {
 	linkLen := fs.Float64("linklen", 30, "grid link length")
 	seed := fs.Uint64("seed", 1, "generator seed")
 	out := fs.String("o", "", "output file (default stdout)")
+	showVersion := fs.Bool("version", false, "print version and exit")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *showVersion {
+		fmt.Fprintf(stdout, "raygen %s\n", version.Version)
+		return nil
+	}
+	if fs.NArg() > 0 {
+		return fmt.Errorf("unexpected argument %q (raygen takes flags only)", fs.Arg(0))
 	}
 
 	pa, err := parsePower(*power, *alpha)

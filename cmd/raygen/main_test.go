@@ -3,10 +3,12 @@ package main
 import (
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 
 	"rayfade/internal/netio"
 	"rayfade/internal/network"
+	"rayfade/internal/version"
 )
 
 func TestRunKinds(t *testing.T) {
@@ -93,5 +95,28 @@ func TestParsePower(t *testing.T) {
 	}
 	if _, ok := pa.(network.SquareRootPower); !ok {
 		t.Fatalf("got %T", pa)
+	}
+}
+
+func TestRunVersionAndArgs(t *testing.T) {
+	// -version prints the release identifier and generates nothing.
+	f, err := os.CreateTemp(t.TempDir(), "out")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := run([]string{"-version"}, f); err != nil {
+		t.Fatal(err)
+	}
+	out, err := os.ReadFile(f.Name())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(out), "raygen "+version.Version) {
+		t.Fatalf("version output: %q", out)
+	}
+	// Positional arguments are a usage error, not silently ignored.
+	if err := run([]string{"extra"}, os.Stdout); err == nil {
+		t.Fatal("positional argument accepted")
 	}
 }

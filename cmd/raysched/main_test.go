@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"strings"
 	"testing"
@@ -39,7 +40,7 @@ func captureStdout(t *testing.T, fn func() error) string {
 
 func TestCmdFigure1Tiny(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdFigure1([]string{"-networks", "2", "-links", "20", "-txseeds", "2",
+		return cmdFigure1(context.Background(), []string{"-networks", "2", "-links", "20", "-txseeds", "2",
 			"-fadeseeds", "2", "-points", "3", "-format", "csv"})
 	})
 	lines := strings.Split(strings.TrimSpace(out), "\n")
@@ -53,7 +54,7 @@ func TestCmdFigure1Tiny(t *testing.T) {
 
 func TestCmdFigure1SVG(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdFigure1([]string{"-networks", "1", "-links", "15", "-txseeds", "2",
+		return cmdFigure1(context.Background(), []string{"-networks", "1", "-links", "15", "-txseeds", "2",
 			"-fadeseeds", "1", "-points", "3", "-format", "svg"})
 	})
 	if !strings.HasPrefix(out, "<svg") || !strings.Contains(out, "</svg>") {
@@ -64,7 +65,7 @@ func TestCmdFigure1SVG(t *testing.T) {
 func TestCmdFigure1Formats(t *testing.T) {
 	for _, format := range []string{"md", "ascii"} {
 		out := captureStdout(t, func() error {
-			return cmdFigure1([]string{"-networks", "1", "-links", "15", "-txseeds", "2",
+			return cmdFigure1(context.Background(), []string{"-networks", "1", "-links", "15", "-txseeds", "2",
 				"-fadeseeds", "1", "-points", "3", "-format", format})
 		})
 		if len(out) == 0 {
@@ -75,7 +76,7 @@ func TestCmdFigure1Formats(t *testing.T) {
 
 func TestCmdFigure1ClusterTopology(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdFigure1([]string{"-networks", "1", "-links", "40", "-txseeds", "2",
+		return cmdFigure1(context.Background(), []string{"-networks", "1", "-links", "40", "-txseeds", "2",
 			"-fadeseeds", "1", "-points", "3", "-topology", "cluster", "-format", "csv"})
 	})
 	if !strings.Contains(out, "uniform/rayleigh_mean") {
@@ -85,7 +86,7 @@ func TestCmdFigure1ClusterTopology(t *testing.T) {
 
 func TestCmdFigure2Tiny(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdFigure2([]string{"-networks", "2", "-links", "20", "-rounds", "10", "-format", "csv"})
+		return cmdFigure2(context.Background(), []string{"-networks", "2", "-links", "20", "-rounds", "10", "-format", "csv"})
 	})
 	if !strings.Contains(out, "round,non-fading_mean") {
 		t.Fatalf("output:\n%s", out)
@@ -94,7 +95,7 @@ func TestCmdFigure2Tiny(t *testing.T) {
 
 func TestCmdFigure2Exp3AndSummary(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdFigure2([]string{"-networks", "2", "-links", "20", "-rounds", "10", "-learner", "exp3"})
+		return cmdFigure2(context.Background(), []string{"-networks", "2", "-links", "20", "-rounds", "10", "-learner", "exp3"})
 	})
 	for _, want := range []string{"lemma-5 non-fading", "lemma-5 rayleigh", "final mean send prob"} {
 		if !strings.Contains(out, want) {
@@ -105,7 +106,7 @@ func TestCmdFigure2Exp3AndSummary(t *testing.T) {
 
 func TestCmdOptimumTiny(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdOptimum([]string{"-networks", "2", "-links", "20", "-restarts", "2"})
+		return cmdOptimum(context.Background(), []string{"-networks", "2", "-links", "20", "-restarts", "2"})
 	})
 	if !strings.Contains(out, "local-search optimum") {
 		t.Fatalf("output:\n%s", out)
@@ -114,7 +115,7 @@ func TestCmdOptimumTiny(t *testing.T) {
 
 func TestCmdCapacityTiny(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdCapacity([]string{"-links", "25"})
+		return cmdCapacity(context.Background(), []string{"-links", "25"})
 	})
 	for _, want := range []string{"greedy uniform", "local search", "power control"} {
 		if !strings.Contains(out, want) {
@@ -125,7 +126,7 @@ func TestCmdCapacityTiny(t *testing.T) {
 
 func TestCmdLatencyTiny(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdLatency([]string{"-networks", "2", "-links", "20", "-trials", "1"})
+		return cmdLatency(context.Background(), []string{"-networks", "2", "-links", "20", "-trials", "1"})
 	})
 	for _, want := range []string{"repeated capacity", "ALOHA", "backoff"} {
 		if !strings.Contains(out, want) {
@@ -148,13 +149,13 @@ func TestCmdCapacityFromInputFile(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := captureStdout(t, func() error {
-		return cmdCapacity([]string{"-input", path})
+		return cmdCapacity(context.Background(), []string{"-input", path})
 	})
 	if !strings.Contains(out, "greedy uniform") {
 		t.Fatalf("output:\n%s", out)
 	}
 	// Missing file errors out.
-	if err := cmdCapacity([]string{"-input", dir + "/nope.json"}); err == nil {
+	if err := cmdCapacity(context.Background(), []string{"-input", dir + "/nope.json"}); err == nil {
 		t.Fatal("missing input accepted")
 	}
 }
@@ -175,7 +176,7 @@ func TestCmdProbeTiny(t *testing.T) {
 
 func TestCmdReductionTiny(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdReduction([]string{"-networks", "1", "-samples", "20"})
+		return cmdReduction(context.Background(), []string{"-networks", "1", "-samples", "20"})
 	})
 	if !strings.Contains(out, "rayleigh / best step") {
 		t.Fatalf("output:\n%s", out)
@@ -184,7 +185,7 @@ func TestCmdReductionTiny(t *testing.T) {
 
 func TestCmdFadingTiny(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdFading([]string{"-networks", "1", "-links", "15"})
+		return cmdFading(context.Background(), []string{"-networks", "1", "-links", "15"})
 	})
 	if !strings.Contains(out, "Rayleigh (paper's model)") {
 		t.Fatalf("output:\n%s", out)
@@ -193,7 +194,7 @@ func TestCmdFadingTiny(t *testing.T) {
 
 func TestCmdTopologyTiny(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdTopology([]string{"-side", "3", "-format", "csv"})
+		return cmdTopology(context.Background(), []string{"-side", "3", "-format", "csv"})
 	})
 	if !strings.Contains(out, "grid/non-fading_mean") {
 		t.Fatalf("output:\n%s", out)
@@ -202,7 +203,7 @@ func TestCmdTopologyTiny(t *testing.T) {
 
 func TestCmdBaselineTiny(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdBaseline([]string{"-networks", "2", "-links", "30"})
+		return cmdBaseline(context.Background(), []string{"-networks", "2", "-links", "30"})
 	})
 	for _, want := range []string{"graph independent set", "SINR violations", "rayleigh replay"} {
 		if !strings.Contains(out, want) {
@@ -213,7 +214,7 @@ func TestCmdBaselineTiny(t *testing.T) {
 
 func TestCmdShannonTiny(t *testing.T) {
 	out := captureStdout(t, func() error {
-		return cmdShannon([]string{"-networks", "1", "-links", "15", "-format", "csv"})
+		return cmdShannon(context.Background(), []string{"-networks", "1", "-links", "15", "-format", "csv"})
 	})
 	if !strings.Contains(out, "shannon/rayleigh_mean") {
 		t.Fatalf("output:\n%s", out)

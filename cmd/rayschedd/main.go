@@ -1,0 +1,109 @@
+// Command rayschedd serves the rayfade scheduling algorithms over HTTP:
+// capacity scheduling, latency/multihop scheduling, the non-fading→Rayleigh
+// reduction, and Monte-Carlo success estimation, all on netio-format
+// topologies. See internal/server for the endpoint catalogue.
+//
+// Usage:
+//
+//	rayschedd -addr :8080
+//
+// The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
+// connections, drains in-flight requests (bounded by -drain), then drains
+// the worker pool.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"rayfade/internal/server"
+	"rayfade/internal/version"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// run is main with its environment injected, so tests can drive it.
+func run(args []string, stdout, stderr *os.File) int {
+	fs := flag.NewFlagSet("rayschedd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		workers     = fs.Int("workers", 0, "compute workers (0 = GOMAXPROCS)")
+		queue       = fs.Int("queue", 64, "queued jobs before requests are answered 429")
+		cacheSize   = fs.Int("cache", 256, "response cache entries (0 disables)")
+		timeout     = fs.Duration("timeout", 30*time.Second, "default per-request compute deadline")
+		maxTimeout  = fs.Duration("max-timeout", 5*time.Minute, "cap on request-supplied timeout_ms")
+		maxLinks    = fs.Int("max-links", 5000, "largest accepted topology (links)")
+		maxBody     = fs.Int64("max-body", 16<<20, "largest accepted request body (bytes)")
+		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		showVersion = fs.Bool("version", false, "print version and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *showVersion {
+		fmt.Fprintf(stdout, "rayschedd %s\n", version.Version)
+		return 0
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "rayschedd: unexpected argument %q\n", fs.Arg(0))
+		fs.Usage()
+		return 2
+	}
+
+	cache := *cacheSize
+	if cache == 0 {
+		cache = -1 // flag semantics: 0 disables; Config uses negative for that
+	}
+	srv := server.New(server.Config{
+		Workers:        *workers,
+		QueueSize:      *queue,
+		CacheSize:      cache,
+		MaxLinks:       *maxLinks,
+		MaxBodyBytes:   *maxBody,
+		DefaultTimeout: *timeout,
+		MaxTimeout:     *maxTimeout,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(stdout, "rayschedd %s listening on %s\n", version.Version, *addr)
+
+	select {
+	case err := <-errc:
+		// ListenAndServe only returns on failure to bind or serve.
+		fmt.Fprintf(stderr, "rayschedd: %v\n", err)
+		srv.Close()
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Two-phase graceful shutdown: stop intake and drain in-flight HTTP,
+	// then drain the worker pool.
+	fmt.Fprintln(stdout, "rayschedd: shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(stderr, "rayschedd: shutdown: %v\n", err)
+	}
+	srv.Close()
+	<-errc // ListenAndServe has returned http.ErrServerClosed by now
+	return 0
+}

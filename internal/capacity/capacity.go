@@ -24,6 +24,7 @@
 package capacity
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -32,6 +33,12 @@ import (
 	"rayfade/internal/sinr"
 	"rayfade/internal/utility"
 )
+
+// ctxCheckStride is how many scan iterations the Ctx variants run between
+// context polls: frequent enough that cancellation lands within microseconds
+// on realistic instances, rare enough that the atomic load in ctx.Err never
+// shows up in profiles.
+const ctxCheckStride = 64
 
 // DefaultTau is the affectance budget the greedy algorithms allocate per
 // link. The SINR constraint itself allows total (uncapped) affectance 1;
@@ -51,6 +58,15 @@ const DefaultTau = 0.5
 // Links whose own signal cannot reach β even alone (noise-dominated) are
 // never accepted.
 func GreedyAffectance(m *network.Matrix, beta, tau float64, order []int) []int {
+	set, _ := GreedyAffectanceCtx(context.Background(), m, beta, tau, order)
+	return set
+}
+
+// GreedyAffectanceCtx is GreedyAffectance with cooperative cancellation: the
+// scan polls ctx every ctxCheckStride candidates and returns the selection
+// so far together with ctx.Err() when cancelled. A nil error means the scan
+// ran to completion.
+func GreedyAffectanceCtx(ctx context.Context, m *network.Matrix, beta, tau float64, order []int) ([]int, error) {
 	if tau <= 0 || tau > 1 {
 		panic(fmt.Sprintf("capacity: affectance budget τ = %g outside (0,1]", tau))
 	}
@@ -61,7 +77,12 @@ func GreedyAffectance(m *network.Matrix, beta, tau float64, order []int) []int {
 	// load[i] = total uncapped affectance currently imposed on accepted
 	// link i by the other accepted links.
 	load := make(map[int]float64, len(order))
-	for _, cand := range order {
+	for scanned, cand := range order {
+		if scanned%ctxCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return selected, err
+			}
+		}
 		if cand < 0 || cand >= m.N {
 			panic(fmt.Sprintf("capacity: link index %d out of range", cand))
 		}
@@ -90,7 +111,7 @@ func GreedyAffectance(m *network.Matrix, beta, tau float64, order []int) []int {
 		load[cand] = inbound
 		selected = append(selected, cand)
 	}
-	return selected
+	return selected, nil
 }
 
 // LengthOrder returns link indices sorted by non-decreasing link length,
@@ -261,17 +282,29 @@ type PowerControlResult struct {
 // is never smaller on instances where the rule would fire). The returned
 // powers give every selected link SINR exactly beta.
 func PowerControlGreedy(net *network.Network, beta float64) PowerControlResult {
+	res, _ := PowerControlGreedyCtx(context.Background(), net, beta)
+	return res
+}
+
+// PowerControlGreedyCtx is PowerControlGreedy with cooperative cancellation:
+// the scan polls ctx before every feasibility check (each check is a full
+// power-iteration fixed point, the expensive unit of work here) and returns
+// the solution so far together with ctx.Err() when cancelled.
+func PowerControlGreedyCtx(ctx context.Context, net *network.Network, beta float64) (PowerControlResult, error) {
 	order := LengthOrder(net)
 	var set []int
 	var powers []float64
 	for _, cand := range order {
+		if err := ctx.Err(); err != nil {
+			return PowerControlResult{Set: set, Powers: powers}, err
+		}
 		trial := append(append([]int(nil), set...), cand)
 		if p, ok := FeasiblePowers(net, trial, beta, 0, 0); ok {
 			set = trial
 			powers = p
 		}
 	}
-	return PowerControlResult{Set: set, Powers: powers}
+	return PowerControlResult{Set: set, Powers: powers}, nil
 }
 
 // ApplyPowers writes a power-control solution's powers back onto a copy of

@@ -20,6 +20,7 @@
 package latency
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -165,6 +166,15 @@ func greedyRestricted(m *network.Matrix, beta, tau float64, scan []int) []int {
 // slots (each a feasible set). Links that cannot succeed even alone trigger
 // ErrUnschedulable.
 func RepeatedCapacity(m *network.Matrix, beta float64, capFn CapacityFunc) ([][]int, error) {
+	return RepeatedCapacityCtx(context.Background(), m, beta, capFn)
+}
+
+// RepeatedCapacityCtx is RepeatedCapacity with cooperative cancellation: ctx
+// is polled before every slot construction (each slot is one capacity-
+// maximization pass, the expensive unit of work), and ctx.Err() is returned
+// when cancelled — no partial schedule, since a truncated schedule would
+// violate the serve-every-link contract.
+func RepeatedCapacityCtx(ctx context.Context, m *network.Matrix, beta float64, capFn CapacityFunc) ([][]int, error) {
 	remaining := make([]int, 0, m.N)
 	for i := 0; i < m.N; i++ {
 		if m.G[i][i] < beta*m.Noise || m.G[i][i] == 0 {
@@ -174,6 +184,9 @@ func RepeatedCapacity(m *network.Matrix, beta float64, capFn CapacityFunc) ([][]
 	}
 	var slots [][]int
 	for len(remaining) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		slot := capFn(m, beta, remaining)
 		if len(slot) == 0 {
 			// A correct capacity function can always schedule a lone
@@ -266,6 +279,14 @@ func PlaySchedule(m *network.Matrix, slots [][]int, beta float64, model SuccessM
 // under Rayleigh fading: each round every link keeps an independent chance,
 // so the expected number of rounds is O(1) per link and O(log n) for all.
 func RepeatUntilDone(m *network.Matrix, base [][]int, beta float64, repeats, maxRounds int, model SuccessModel) (totalSlots int, done bool) {
+	totalSlots, done, _ = RepeatUntilDoneCtx(context.Background(), m, base, beta, repeats, maxRounds, model)
+	return totalSlots, done
+}
+
+// RepeatUntilDoneCtx is RepeatUntilDone with cooperative cancellation: ctx
+// is polled once per replay round, and the slots consumed so far are
+// returned with done == false and ctx.Err() when cancelled.
+func RepeatUntilDoneCtx(ctx context.Context, m *network.Matrix, base [][]int, beta float64, repeats, maxRounds int, model SuccessModel) (totalSlots int, done bool, err error) {
 	if repeats <= 0 {
 		panic(fmt.Sprintf("latency: repeats = %d must be positive", repeats))
 	}
@@ -276,6 +297,9 @@ func RepeatUntilDone(m *network.Matrix, base [][]int, beta float64, repeats, max
 	served := make([]bool, m.N)
 	needed := m.N
 	for round := 0; round < maxRounds; round++ {
+		if err := ctx.Err(); err != nil {
+			return totalSlots, false, err
+		}
 		for _, slot := range expanded {
 			// Only still-unserved links re-transmit; served ones are done.
 			active := make([]bool, m.N)
@@ -297,11 +321,11 @@ func RepeatUntilDone(m *network.Matrix, base [][]int, beta float64, repeats, max
 				}
 			}
 			if needed == 0 {
-				return totalSlots, true
+				return totalSlots, true, nil
 			}
 		}
 	}
-	return totalSlots, false
+	return totalSlots, false, nil
 }
 
 // AlohaConfig parameterizes the distributed contention protocol.
@@ -333,6 +357,14 @@ type AlohaResult struct {
 // fading); links that succeed stop transmitting. The same code serves both
 // models through the SuccessModel interface.
 func Aloha(m *network.Matrix, beta float64, cfg AlohaConfig, src *rng.Source, model SuccessModel) AlohaResult {
+	res, _ := AlohaCtx(context.Background(), m, beta, cfg, src, model)
+	return res
+}
+
+// AlohaCtx is Aloha with cooperative cancellation: ctx is polled once per
+// randomized step, and the partial result (Done == false) is returned with
+// ctx.Err() when cancelled.
+func AlohaCtx(ctx context.Context, m *network.Matrix, beta float64, cfg AlohaConfig, src *rng.Source, model SuccessModel) (AlohaResult, error) {
 	if cfg.Prob <= 0 || cfg.Prob > 1 {
 		panic(fmt.Sprintf("latency: transmission probability %g outside (0,1]", cfg.Prob))
 	}
@@ -349,6 +381,9 @@ func Aloha(m *network.Matrix, beta float64, cfg AlohaConfig, src *rng.Source, mo
 	res := AlohaResult{}
 	active := make([]bool, m.N)
 	for res.Slots < maxSlots && needed > 0 {
+		if err := ctx.Err(); err != nil {
+			return res, err
+		}
 		// One randomized step: draw the transmitting set among unserved.
 		any := false
 		for i := range active {
@@ -377,7 +412,7 @@ func Aloha(m *network.Matrix, beta float64, cfg AlohaConfig, src *rng.Source, mo
 		}
 	}
 	res.Done = needed == 0
-	return res
+	return res, nil
 }
 
 // Path is a multi-hop route: an ordered list of link indices; hop h+1 may
@@ -392,6 +427,14 @@ type Path []int
 // concatenation-of-single-hop-schedules construction the paper's Section 4
 // extends to multi-hop scheduling.
 func MultiHop(m *network.Matrix, beta float64, paths []Path, capFn CapacityFunc, maxSlots int, model SuccessModel) (slots int, done bool) {
+	slots, done, _ = MultiHopCtx(context.Background(), m, beta, paths, capFn, maxSlots, model)
+	return slots, done
+}
+
+// MultiHopCtx is MultiHop with cooperative cancellation: ctx is polled once
+// per slot, and the slots consumed so far are returned with done == false
+// and ctx.Err() when cancelled.
+func MultiHopCtx(ctx context.Context, m *network.Matrix, beta float64, paths []Path, capFn CapacityFunc, maxSlots int, model SuccessModel) (slots int, done bool, err error) {
 	if maxSlots <= 0 {
 		maxSlots = 64 * m.N * (len(paths) + 1)
 	}
@@ -408,6 +451,9 @@ func MultiHop(m *network.Matrix, beta float64, paths []Path, capFn CapacityFunc,
 		}
 	}
 	for slots = 0; slots < maxSlots && remaining > 0; slots++ {
+		if err := ctx.Err(); err != nil {
+			return slots, false, err
+		}
 		// Collect ready links (dedup: two packets may share a next hop).
 		readySet := map[int]bool{}
 		for k, p := range paths {
@@ -441,5 +487,5 @@ func MultiHop(m *network.Matrix, beta float64, paths []Path, capFn CapacityFunc,
 			}
 		}
 	}
-	return slots, remaining == 0
+	return slots, remaining == 0, nil
 }

@@ -1,0 +1,69 @@
+package netio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzReadNetwork feeds arbitrary bytes to Load and asserts the contract the
+// rayschedd daemon depends on: hostile input either yields a valid network or
+// an error — never a panic, and never a "valid" network that fails its own
+// Validate or cannot round-trip through Save.
+func FuzzReadNetwork(f *testing.F) {
+	seeds := []string{
+		``,
+		`{}`,
+		`not json`,
+		`{"version":1,"metric":"euclidean","alpha":3,"noise":0.1,
+		  "links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":1}]}`,
+		`{"version":1,"metric":"torus:10x10","alpha":3,"noise":0,
+		  "links":[{"sx":0,"sy":0,"rx":1,"ry":1,"power":1,"weight":2}]}`,
+		// Hostile shapes that must be rejected, not crash or slip through.
+		`{"version":99,"links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":1}]}`,
+		`{"metric":"torus:0x0","alpha":3,"links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":1}]}`,
+		`{"metric":"torus:-5x-5","alpha":3,"links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":1}]}`,
+		`{"metric":"torus:NaNxNaN","alpha":3,"links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":1}]}`,
+		`{"metric":"spherical","alpha":3,"links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":1}]}`,
+		`{"alpha":3,"links":[{"sx":0,"sy":0,"rx":0,"ry":0,"power":1}]}`,
+		`{"alpha":3,"links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":-1}]}`,
+		`{"alpha":3,"links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":1,"weight":-2}]}`,
+		`{"alpha":-3,"links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":1}]}`,
+		`{"alpha":3,"noise":-1,"links":[{"sx":0,"sy":0,"rx":1,"ry":0,"power":1}]}`,
+		`{"alpha":3,"links":[{"sx":1e999,"sy":0,"rx":1,"ry":0,"power":1}]}`,
+		`{"alpha":3,"links":[],"bogus":true}`,
+		`[1,2,3]`,
+		`{"links":`,
+		`{"version":1.5}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if net != nil {
+				t.Fatalf("Load returned both a network and error %v", err)
+			}
+			return
+		}
+		// Anything Load accepts must satisfy the validity contract…
+		if verr := net.Validate(); verr != nil {
+			t.Fatalf("Load accepted a network that fails Validate: %v\ninput: %q", verr, data)
+		}
+		// …and round-trip: Save must succeed and re-Load identically enough
+		// to validate again (the canonical-serialization path the server's
+		// cache keys rely on).
+		var buf bytes.Buffer
+		if serr := Save(&buf, net); serr != nil {
+			t.Fatalf("Save rejected a network Load accepted: %v\ninput: %q", serr, data)
+		}
+		net2, lerr := Load(strings.NewReader(buf.String()))
+		if lerr != nil {
+			t.Fatalf("round-trip Load failed: %v\nsaved: %s", lerr, buf.String())
+		}
+		if net2.N() != net.N() {
+			t.Fatalf("round-trip changed link count %d -> %d", net.N(), net2.N())
+		}
+	})
+}

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"strings"
 
@@ -65,6 +66,12 @@ func parseMetric(s string) (geom.Metric, error) {
 		var w, h float64
 		if _, err := fmt.Sscanf(s, "torus:%gx%g", &w, &h); err != nil {
 			return nil, fmt.Errorf("netio: bad torus metric %q", s)
+		}
+		// Non-positive or non-finite dimensions make torus wraparound
+		// degenerate (math.Mod by zero is NaN), which network.Validate's
+		// length check cannot catch because NaN compares false.
+		if !(w > 0) || !(h > 0) || math.IsInf(w, 0) || math.IsInf(h, 0) {
+			return nil, fmt.Errorf("netio: torus dimensions %gx%g must be positive and finite", w, h)
 		}
 		return geom.Torus{W: w, H: h}, nil
 	default:
@@ -123,6 +130,14 @@ func Load(r io.Reader) (*network.Network, error) {
 		Links:  make([]network.Link, len(doc.Links)),
 	}
 	for i, l := range doc.Links {
+		// Reject non-finite values here: NaN slips through Validate's
+		// ordered comparisons (NaN length is not <= 0, NaN weight is not
+		// < 0) and would poison every downstream gain computation.
+		for _, v := range [...]float64{l.SX, l.SY, l.RX, l.RY, l.Power, l.Weight} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("netio: link %d has non-finite field %g", i, v)
+			}
+		}
 		weight := l.Weight
 		if weight == 0 {
 			weight = 1

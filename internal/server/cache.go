@@ -1,0 +1,86 @@
+package server
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a thread-safe LRU of rendered response bodies, keyed by the
+// canonical request hash (see requestKey). Values are the exact bytes
+// written to the first requester, so a hit replays a byte-identical
+// response: the daemon's determinism contract (same topology, params, and
+// seed ⇒ same bytes) survives caching.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+
+	hits, misses uint64
+}
+
+type cacheEntry struct {
+	key  string
+	body []byte
+}
+
+// NewCache returns an LRU holding at most capacity entries. capacity <= 0
+// disables caching (every Get misses, Put is a no-op), which keeps the
+// handler path branch-free.
+func NewCache(capacity int) *Cache {
+	return &Cache{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached body for key and whether it was present, updating
+// recency and the hit/miss counters.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).body, true
+}
+
+// Put stores body under key, evicting the least recently used entry when
+// over capacity. The caller must not mutate body afterwards.
+func (c *Cache) Put(key string, body []byte) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[key]; ok {
+		el.Value.(*cacheEntry).body = body
+		c.order.MoveToFront(el)
+		return
+	}
+	c.items[key] = c.order.PushFront(&cacheEntry{key: key, body: body})
+	for c.order.Len() > c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// Stats returns the cumulative hit and miss counts.
+func (c *Cache) Stats() (hits, misses uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}

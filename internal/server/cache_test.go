@@ -1,0 +1,76 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestCacheHitMiss(t *testing.T) {
+	c := NewCache(4)
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("empty cache hit")
+	}
+	c.Put("a", []byte("body-a"))
+	body, ok := c.Get("a")
+	if !ok || !bytes.Equal(body, []byte("body-a")) {
+		t.Fatalf("got %q ok=%v", body, ok)
+	}
+	hits, misses := c.Stats()
+	if hits != 1 || misses != 1 {
+		t.Fatalf("stats hits=%d misses=%d", hits, misses)
+	}
+}
+
+func TestCacheEvictsLRU(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("A"))
+	c.Put("b", []byte("B"))
+	c.Get("a") // refresh a: b becomes the eviction candidate
+	c.Put("c", []byte("C"))
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("LRU entry b survived eviction")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := c.Get(k); !ok {
+			t.Fatalf("entry %s evicted wrongly", k)
+		}
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCacheUpdateExistingKey(t *testing.T) {
+	c := NewCache(2)
+	c.Put("a", []byte("old"))
+	c.Put("a", []byte("new"))
+	body, _ := c.Get("a")
+	if string(body) != "new" {
+		t.Fatalf("got %q", body)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCacheDisabled(t *testing.T) {
+	c := NewCache(0)
+	c.Put("a", []byte("A"))
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache stored an entry")
+	}
+	if c.Len() != 0 {
+		t.Fatalf("len %d", c.Len())
+	}
+}
+
+func TestCacheManyKeysStaysBounded(t *testing.T) {
+	c := NewCache(8)
+	for i := 0; i < 100; i++ {
+		c.Put(fmt.Sprintf("k%d", i), []byte{byte(i)})
+	}
+	if c.Len() != 8 {
+		t.Fatalf("len %d, want 8", c.Len())
+	}
+}

@@ -1,0 +1,191 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"math"
+
+	"rayfade/internal/capacity"
+	"rayfade/internal/fading"
+	"rayfade/internal/latency"
+	"rayfade/internal/network"
+	"rayfade/internal/rng"
+	"rayfade/internal/stats"
+	"rayfade/internal/transform"
+	"rayfade/internal/utility"
+)
+
+// The compute functions below are the service's business logic: pure,
+// deterministic functions from (parsed request, topology) to a response
+// struct. They run on pool workers with the request's deadline-carrying
+// context and poll it through the Ctx variants of the compute layers, so a
+// deadline or client disconnect stops the work instead of burning a worker.
+
+func computeSchedule(ctx context.Context, p scheduleParams, net *network.Network) (*scheduleResponse, error) {
+	m := net.Gains()
+	resp := &scheduleResponse{Algorithm: p.Algorithm, Links: m.N, Beta: p.Beta}
+	switch p.Algorithm {
+	case "greedy":
+		set, err := capacity.GreedyAffectanceCtx(ctx, m, p.Beta, capacity.DefaultTau, capacity.LengthOrder(net))
+		if err != nil {
+			return nil, err
+		}
+		resp.Set = set
+		resp.Value = float64(len(set))
+		resp.ExpectedRayleigh = fading.ExpectedBinaryValueOfSet(m, set, p.Beta)
+	case "weighted":
+		set, err := capacity.GreedyAffectanceCtx(ctx, m, p.Beta, capacity.DefaultTau, capacity.WeightOrder(m))
+		if err != nil {
+			return nil, err
+		}
+		resp.Set = set
+		for _, i := range set {
+			resp.Value += m.Weights[i]
+		}
+		resp.ExpectedRayleigh = fading.ExpectedBinaryValueOfSet(m, set, p.Beta)
+	case "powercontrol":
+		pc, err := capacity.PowerControlGreedyCtx(ctx, net, p.Beta)
+		if err != nil {
+			return nil, err
+		}
+		resp.Set = pc.Set
+		resp.Value = float64(len(pc.Set))
+		resp.Powers = pc.Powers
+		// Evaluate the fading expectation under the certified powers, not
+		// the input powers the solution replaced.
+		resp.ExpectedRayleigh = fading.ExpectedBinaryValueOfSet(pc.ApplyPowers(net).Gains(), pc.Set, p.Beta)
+	default:
+		return nil, badRequest("unknown algorithm %q (want greedy, weighted, or powercontrol)", p.Algorithm)
+	}
+	if resp.Set == nil {
+		resp.Set = []int{} // render [] rather than null
+	}
+	resp.Size = len(resp.Set)
+	resp.Lemma2Floor = resp.Value * transform.LossFactor
+	return resp, nil
+}
+
+func computeLatency(ctx context.Context, p latencyParams, net *network.Network) (*latencyResponse, error) {
+	m := net.Gains()
+	resp := &latencyResponse{
+		Scheduler: p.Scheduler, Model: p.Model, Links: m.N,
+		Beta: p.Beta, Seed: p.Seed, Repeats: 1,
+	}
+	if p.Model == "rayleigh" {
+		resp.Repeats = transform.AlohaRepeats
+	}
+	src := rng.New(p.Seed)
+	switch p.Scheduler {
+	case "repeated":
+		capFn := latency.GreedyCapacity(capacity.LengthOrder(net), capacity.DefaultTau)
+		sched, err := latency.RepeatedCapacityCtx(ctx, m, p.Beta, capFn)
+		if err != nil {
+			if errors.Is(err, latency.ErrUnschedulable) {
+				return nil, unprocessable("%v", err)
+			}
+			return nil, err
+		}
+		resp.Schedule = sched
+		switch p.Model {
+		case "nonfading":
+			resp.Slots, resp.Done = len(sched), true
+		case "rayleigh":
+			maxRounds := p.MaxSlots
+			if maxRounds <= 0 {
+				maxRounds = 10000
+			}
+			slots, done, err := latency.RepeatUntilDoneCtx(ctx, m, sched, p.Beta,
+				transform.AlohaRepeats, maxRounds, latency.NewRayleigh(src, m.N))
+			if err != nil {
+				return nil, err
+			}
+			resp.Slots, resp.Done = slots, done
+		}
+	case "aloha":
+		cfg := latency.AlohaConfig{Prob: p.Prob, MaxSlots: p.MaxSlots, Repeats: resp.Repeats}
+		var model latency.SuccessModel = latency.NonFading{}
+		if p.Model == "rayleigh" {
+			model = latency.NewRayleigh(src.Split(), m.N)
+		}
+		res, err := latency.AlohaCtx(ctx, m, p.Beta, cfg, src, model)
+		if err != nil {
+			return nil, err
+		}
+		resp.Slots, resp.Done = res.Slots, res.Done
+	}
+	return resp, nil
+}
+
+func computeReduce(ctx context.Context, p reduceParams, net *network.Network) (*reduceResponse, error) {
+	m := net.Gains()
+	q := fading.UniformProbs(m.N, p.Prob)
+	steps := transform.Schedule(q, transform.ScheduleRepeats)
+	best, all, err := transform.BestStepCtx(ctx, m, steps,
+		utility.Uniform(utility.Binary{Beta: p.Beta}), p.Samples, rng.New(p.Seed))
+	if err != nil {
+		return nil, err
+	}
+	resp := &reduceResponse{
+		Links: m.N, Beta: p.Beta, Prob: p.Prob, Seed: p.Seed,
+		Levels:        len(steps),
+		LogStar:       stats.LogStar(float64(m.N)),
+		TotalSlots:    transform.TotalSlots(steps),
+		BestLevel:     best.Step.Level,
+		BestValue:     best.Value.Mean,
+		RayleighExact: fading.ExpectedSuccessesExact(m, q, p.Beta),
+	}
+	for _, sv := range all {
+		resp.Steps = append(resp.Steps, reduceStep{
+			Level:       sv.Step.Level,
+			B:           sv.Step.B,
+			Repeats:     sv.Step.Repeats,
+			ValueMean:   sv.Value.Mean,
+			ValueStderr: sv.Value.StdErr,
+		})
+	}
+	if resp.BestValue > 0 {
+		resp.Ratio = resp.RayleighExact / resp.BestValue
+	}
+	return resp, nil
+}
+
+// estimateCtxStride is how many Monte-Carlo samples run between context
+// polls in computeEstimate.
+const estimateCtxStride = 64
+
+func computeEstimate(ctx context.Context, p estimateParams, net *network.Network) (*estimateResponse, error) {
+	m := net.Gains()
+	q := fading.UniformProbs(m.N, p.Prob)
+	src := rng.New(p.Seed)
+	// Allocation-free sampling: one set of kernel scratch buffers for the
+	// whole request, the SampleSINRsInto convention.
+	active := make([]bool, m.N)
+	vals := make([]float64, m.N)
+	idx := make([]int, 0, m.N)
+	var sum, sumSq float64
+	for s := 0; s < p.Samples; s++ {
+		if s%estimateCtxStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		for i := range active {
+			active[i] = src.Bernoulli(q[i])
+		}
+		c := float64(fading.CountSuccesses(m, active, p.Beta, src, vals, idx))
+		sum += c
+		sumSq += c * c
+	}
+	n := float64(p.Samples)
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	return &estimateResponse{
+		Links: m.N, Beta: p.Beta, Prob: p.Prob, Seed: p.Seed, Samples: p.Samples,
+		Mean:   mean,
+		Stderr: math.Sqrt(variance / n),
+		Exact:  fading.ExpectedSuccessesExact(m, q, p.Beta),
+	}, nil
+}

@@ -1,0 +1,164 @@
+package server
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"rayfade/internal/stats"
+)
+
+// Latency histogram shape: stats.Histogram bins are equal-width, so the
+// histogram runs over log10(seconds) — equal-width there is log-spaced in
+// time, which is the only useful spacing for latencies that range from
+// microseconds (cache hits) to minutes (huge topologies). The range spans
+// 1µs to 100s with 4 buckets per decade.
+const (
+	latLogLo   = -6.0
+	latLogHi   = 2.0
+	latBuckets = 32
+)
+
+// endpointStats aggregates one endpoint's counters.
+type endpointStats struct {
+	byCode  map[int]uint64
+	latency *stats.Histogram
+	seconds float64 // total observed, for the _sum series
+	count   uint64
+}
+
+// Metrics is the daemon's observability registry: per-endpoint request and
+// status-code counts, log-spaced latency histograms, and gauges sampled at
+// render time (queue depth, in-flight jobs, cache occupancy). It renders in
+// the Prometheus text exposition format using only the stdlib.
+type Metrics struct {
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+
+	// gauges are sampled lazily at render time so Metrics has no coupling
+	// to the pool and cache beyond these closures.
+	gauges map[string]func() float64
+}
+
+// NewMetrics returns an empty registry.
+func NewMetrics() *Metrics {
+	return &Metrics{
+		endpoints: make(map[string]*endpointStats),
+		gauges:    make(map[string]func() float64),
+	}
+}
+
+// Gauge registers a named gauge sampled every time the registry renders.
+func (m *Metrics) Gauge(name string, sample func() float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.gauges[name] = sample
+}
+
+// Observe records one completed request: its endpoint, HTTP status, and
+// wall-clock duration in seconds.
+func (m *Metrics) Observe(endpoint string, code int, seconds float64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		es = &endpointStats{
+			byCode:  make(map[int]uint64),
+			latency: stats.NewHistogram(latLogLo, latLogHi, latBuckets),
+		}
+		m.endpoints[endpoint] = es
+	}
+	es.byCode[code]++
+	es.count++
+	if seconds > 0 && !math.IsNaN(seconds) {
+		es.seconds += seconds
+		// Clamp into the histogram's domain so Under/Over stay empty and
+		// every observation lands in a renderable bucket.
+		lg := math.Log10(seconds)
+		if lg < latLogLo {
+			lg = latLogLo
+		}
+		if lg > latLogHi {
+			lg = latLogHi
+		}
+		es.latency.Add(lg)
+	}
+}
+
+// WriteTo renders the registry in the Prometheus text format. Output order
+// is deterministic (endpoints, codes, and gauges sorted) so scrapes and
+// golden tests are stable.
+func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	p := func(format string, args ...any) error {
+		k, err := fmt.Fprintf(w, format, args...)
+		n += int64(k)
+		return err
+	}
+
+	eps := make([]string, 0, len(m.endpoints))
+	for ep := range m.endpoints {
+		eps = append(eps, ep)
+	}
+	sort.Strings(eps)
+
+	if err := p("# HELP rayschedd_requests_total Completed requests by endpoint and status code.\n# TYPE rayschedd_requests_total counter\n"); err != nil {
+		return n, err
+	}
+	for _, ep := range eps {
+		es := m.endpoints[ep]
+		codes := make([]int, 0, len(es.byCode))
+		for c := range es.byCode {
+			codes = append(codes, c)
+		}
+		sort.Ints(codes)
+		for _, c := range codes {
+			if err := p("rayschedd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, es.byCode[c]); err != nil {
+				return n, err
+			}
+		}
+	}
+
+	if err := p("# HELP rayschedd_request_duration_seconds Request latency (log-spaced buckets).\n# TYPE rayschedd_request_duration_seconds histogram\n"); err != nil {
+		return n, err
+	}
+	for _, ep := range eps {
+		es := m.endpoints[ep]
+		h := es.latency
+		width := (latLogHi - latLogLo) / float64(latBuckets)
+		cum := uint64(h.Under) // sub-1µs observations fold into the first bucket
+		for i, c := range h.Counts {
+			cum += uint64(c)
+			le := math.Pow(10, latLogLo+float64(i+1)*width)
+			if err := p("rayschedd_request_duration_seconds_bucket{endpoint=%q,le=\"%.3g\"} %d\n", ep, le, cum); err != nil {
+				return n, err
+			}
+		}
+		cum += uint64(h.Over)
+		if err := p("rayschedd_request_duration_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum); err != nil {
+			return n, err
+		}
+		if err := p("rayschedd_request_duration_seconds_sum{endpoint=%q} %g\n", ep, es.seconds); err != nil {
+			return n, err
+		}
+		if err := p("rayschedd_request_duration_seconds_count{endpoint=%q} %d\n", ep, es.count); err != nil {
+			return n, err
+		}
+	}
+
+	names := make([]string, 0, len(m.gauges))
+	for name := range m.gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := p("# TYPE %s gauge\n%s %g\n", name, name, m.gauges[name]()); err != nil {
+			return n, err
+		}
+	}
+	return n, nil
+}

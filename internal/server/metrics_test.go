@@ -1,0 +1,68 @@
+package server
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMetricsRender(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("/v1/schedule", 200, 0.01)
+	m.Observe("/v1/schedule", 200, 0.02)
+	m.Observe("/v1/schedule", 400, 0.001)
+	m.Observe("/v1/latency", 200, 1.5)
+	m.Gauge("rayschedd_queue_depth", func() float64 { return 3 })
+
+	var sb strings.Builder
+	if _, err := m.WriteTo(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wants := []string{
+		`rayschedd_requests_total{endpoint="/v1/schedule",code="200"} 2`,
+		`rayschedd_requests_total{endpoint="/v1/schedule",code="400"} 1`,
+		`rayschedd_requests_total{endpoint="/v1/latency",code="200"} 1`,
+		`rayschedd_request_duration_seconds_count{endpoint="/v1/schedule"} 3`,
+		`rayschedd_request_duration_seconds_bucket{endpoint="/v1/latency",le="+Inf"} 1`,
+		`rayschedd_queue_depth 3`,
+		"# TYPE rayschedd_requests_total counter",
+		"# TYPE rayschedd_request_duration_seconds histogram",
+	}
+	for _, want := range wants {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestMetricsHistogramCumulative(t *testing.T) {
+	m := NewMetrics()
+	// Observations clamped into the domain still land in buckets: one far
+	// below the 1µs floor, one far above the 100s ceiling.
+	m.Observe("/x", 200, 1e-9)
+	m.Observe("/x", 200, 1e9)
+	var sb strings.Builder
+	m.WriteTo(&sb)
+	out := sb.String()
+	if !strings.Contains(out, `rayschedd_request_duration_seconds_bucket{endpoint="/x",le="+Inf"} 2`) {
+		t.Fatalf("+Inf bucket must count every observation:\n%s", out)
+	}
+	if !strings.Contains(out, `rayschedd_request_duration_seconds_count{endpoint="/x"} 2`) {
+		t.Fatalf("count series wrong:\n%s", out)
+	}
+}
+
+func TestMetricsDeterministicOrder(t *testing.T) {
+	m := NewMetrics()
+	m.Observe("/b", 200, 0.1)
+	m.Observe("/a", 200, 0.1)
+	var s1, s2 strings.Builder
+	m.WriteTo(&s1)
+	m.WriteTo(&s2)
+	if s1.String() != s2.String() {
+		t.Fatal("non-deterministic render")
+	}
+	if strings.Index(s1.String(), `endpoint="/a"`) > strings.Index(s1.String(), `endpoint="/b"`) {
+		t.Fatal("endpoints not sorted")
+	}
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrQueueFull is returned by Pool.Do when the admission queue has no room
+// for another job. The HTTP layer translates it into 429 Too Many Requests
+// with a Retry-After hint, which is the daemon's overload contract: shed
+// load at the door instead of queueing unboundedly.
+var ErrQueueFull = errors.New("server: worker queue full")
+
+// ErrPoolClosed is returned by Pool.Do after Close: the daemon is draining
+// and accepts no new work.
+var ErrPoolClosed = errors.New("server: pool closed")
+
+// job is one queued unit of work. done is closed exactly once, after the
+// job has either run to completion or been skipped; err carries the skip
+// reason (context expiry) or a recovered panic.
+type job struct {
+	ctx  context.Context
+	fn   func(ctx context.Context)
+	done chan struct{}
+	err  error
+}
+
+// Pool is a bounded worker pool: a fixed set of goroutines draining a
+// buffered admission queue. Both bounds are deliberate — the workers cap
+// compute concurrency near the core count (each request saturates one core;
+// oversubscribing only adds scheduling jitter to every in-flight request),
+// and the queue caps memory and tail latency under overload.
+type Pool struct {
+	jobs     chan *job
+	wg       sync.WaitGroup
+	inFlight atomic.Int64
+
+	mu     sync.RWMutex
+	closed bool
+}
+
+// NewPool starts workers goroutines behind a queue of the given capacity.
+// workers <= 0 selects GOMAXPROCS; queue < 0 selects 64.
+func NewPool(workers, queue int) *Pool {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if queue < 0 {
+		queue = 64
+	}
+	p := &Pool{jobs: make(chan *job, queue)}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go p.worker()
+	}
+	return p
+}
+
+func (p *Pool) worker() {
+	defer p.wg.Done()
+	for j := range p.jobs {
+		p.run(j)
+	}
+}
+
+// run executes one job, skipping it when its context already expired while
+// queued (the requester has been answered or has given up; running anyway
+// would burn a worker on unobservable output).
+func (p *Pool) run(j *job) {
+	defer close(j.done)
+	if err := j.ctx.Err(); err != nil {
+		j.err = err
+		return
+	}
+	p.inFlight.Add(1)
+	defer p.inFlight.Add(-1)
+	defer func() {
+		if r := recover(); r != nil {
+			j.err = fmt.Errorf("server: job panic: %v", r)
+		}
+	}()
+	j.fn(j.ctx)
+}
+
+// Do submits fn and blocks until it has run to completion or been skipped.
+// It returns ErrQueueFull without blocking when the queue is at capacity,
+// ErrPoolClosed after Close, the context's error when the job was skipped
+// because ctx expired while queued, and a wrapped panic value if fn
+// panicked. A nil return means fn ran to completion (fn observes ctx itself
+// for mid-computation cancellation — the compute layers poll it).
+func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context)) error {
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+	p.mu.RLock()
+	if p.closed {
+		p.mu.RUnlock()
+		return ErrPoolClosed
+	}
+	select {
+	case p.jobs <- j:
+		p.mu.RUnlock()
+	default:
+		p.mu.RUnlock()
+		return ErrQueueFull
+	}
+	<-j.done
+	return j.err
+}
+
+// QueueDepth returns the number of jobs waiting for a worker.
+func (p *Pool) QueueDepth() int { return len(p.jobs) }
+
+// InFlight returns the number of jobs currently executing.
+func (p *Pool) InFlight() int { return int(p.inFlight.Load()) }
+
+// Close stops admission and blocks until every queued and in-flight job has
+// finished — the drain half of graceful shutdown. Close is idempotent.
+func (p *Pool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	close(p.jobs)
+	p.mu.Unlock()
+	p.wg.Wait()
+}

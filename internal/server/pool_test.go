@@ -1,0 +1,126 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestPoolRunsJobs(t *testing.T) {
+	p := NewPool(2, 4)
+	defer p.Close()
+	var ran atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 20; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := p.Do(context.Background(), func(context.Context) { ran.Add(1) }); err != nil &&
+				!errors.Is(err, ErrQueueFull) {
+				t.Errorf("Do: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+	if ran.Load() == 0 {
+		t.Fatal("no jobs ran")
+	}
+}
+
+func TestPoolQueueFull(t *testing.T) {
+	p := NewPool(1, 1) // one worker, one queue slot
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) {
+		close(started)
+		<-block
+	})
+	<-started
+	// The worker is now inside the first job, so the second lands in the
+	// queue's single slot.
+	go p.Do(context.Background(), func(context.Context) {})
+	for p.QueueDepth() != 1 {
+		time.Sleep(time.Millisecond)
+	}
+	// Worker busy and queue full: admission must fail fast, not block.
+	err := p.Do(context.Background(), func(context.Context) {})
+	close(block)
+	if !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("got %v, want ErrQueueFull", err)
+	}
+}
+
+func TestPoolClosed(t *testing.T) {
+	p := NewPool(1, 1)
+	p.Close()
+	p.Close() // idempotent
+	if err := p.Do(context.Background(), func(context.Context) {}); !errors.Is(err, ErrPoolClosed) {
+		t.Fatalf("got %v, want ErrPoolClosed", err)
+	}
+}
+
+func TestPoolRecoversPanic(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	err := p.Do(context.Background(), func(context.Context) { panic("kaboom") })
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Fatalf("got %v, want recovered panic", err)
+	}
+	// The worker survived the panic and still serves.
+	if err := p.Do(context.Background(), func(context.Context) {}); err != nil {
+		t.Fatalf("worker died after panic: %v", err)
+	}
+}
+
+func TestPoolSkipsExpiredQueuedJob(t *testing.T) {
+	p := NewPool(1, 1)
+	defer p.Close()
+	block := make(chan struct{})
+	started := make(chan struct{})
+	go p.Do(context.Background(), func(context.Context) {
+		close(started)
+		<-block
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		errc <- p.Do(ctx, func(context.Context) {
+			t.Error("expired job must not run")
+		})
+	}()
+	// Let the job land in the queue, expire it, then free the worker.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	close(block)
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+}
+
+func TestPoolCloseDrains(t *testing.T) {
+	p := NewPool(2, 8)
+	var ran atomic.Int32
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Do(context.Background(), func(context.Context) {
+				time.Sleep(5 * time.Millisecond)
+				ran.Add(1)
+			})
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	p.Close() // must wait for queued + in-flight jobs
+	wg.Wait()
+	if got := p.InFlight(); got != 0 {
+		t.Fatalf("in-flight after Close: %d", got)
+	}
+}

@@ -1,0 +1,460 @@
+// Package server is rayschedd's scheduling-as-a-service core: an HTTP/JSON
+// daemon exposing the library's schedulers over netio-format topologies.
+//
+// Endpoints:
+//
+//	POST /v1/schedule   single-slot capacity scheduling + fading transfer
+//	POST /v1/latency    full-coverage latency scheduling (repeated capacity, ALOHA)
+//	POST /v1/reduce     non-fading→Rayleigh reduction (Algorithm 1 / Theorem 2)
+//	POST /v1/estimate   Monte-Carlo Rayleigh success estimation (exact form alongside)
+//	GET  /healthz       liveness + version
+//	GET  /metrics       Prometheus text: requests, latency, cache, queue
+//
+// Production shape, stdlib only:
+//
+//   - Admission control. Every compute request passes through a bounded
+//     worker pool (NewPool); when the queue is full the daemon answers
+//     429 with Retry-After instead of queueing unboundedly.
+//   - Deadlines. Each request runs under a context deadline (server default,
+//     tightened per-request via timeout_ms) that is threaded into the
+//     capacity/latency/transform scheduler loops, so abandoned work stops
+//     consuming workers. Expiry maps to 504.
+//   - Caching. Responses are cached in an LRU keyed by a canonical hash of
+//     (endpoint, defaults-applied params, canonical topology); repeated
+//     identical queries replay byte-identical bodies from memory.
+//   - Observability. Per-endpoint request/status counts and log-spaced
+//     latency histograms (reusing stats.Histogram), cache hit/miss, queue
+//     depth and in-flight gauges, rendered at /metrics.
+//
+// Graceful shutdown is the caller's two-phase affair: http.Server.Shutdown
+// stops intake and drains in-flight HTTP, then Server.Close drains the pool.
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"rayfade/internal/version"
+)
+
+// Config sizes the daemon. The zero value selects production-reasonable
+// defaults (see the field comments).
+type Config struct {
+	// Workers is the compute concurrency; <= 0 selects GOMAXPROCS.
+	Workers int
+	// QueueSize bounds jobs waiting for a worker; <= 0 selects 64. A full
+	// queue answers 429.
+	QueueSize int
+	// CacheSize bounds the response LRU (entries); 0 selects 256, negative
+	// disables caching.
+	CacheSize int
+	// MaxLinks rejects larger topologies with 413; <= 0 selects 5000.
+	MaxLinks int
+	// MaxBodyBytes bounds the request body; <= 0 selects 16 MiB.
+	MaxBodyBytes int64
+	// DefaultTimeout is the per-request compute deadline when the request
+	// does not set timeout_ms; <= 0 selects 30s.
+	DefaultTimeout time.Duration
+	// MaxTimeout caps request-supplied timeouts; <= 0 selects 5m.
+	MaxTimeout time.Duration
+	// MaxSamples caps Monte-Carlo sample counts on /v1/reduce and
+	// /v1/estimate; <= 0 selects 1_000_000.
+	MaxSamples int
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueSize <= 0 {
+		c.QueueSize = 64
+	}
+	if c.CacheSize == 0 {
+		c.CacheSize = 256
+	}
+	if c.MaxLinks <= 0 {
+		c.MaxLinks = 5000
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 16 << 20
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 30 * time.Second
+	}
+	if c.MaxTimeout <= 0 {
+		c.MaxTimeout = 5 * time.Minute
+	}
+	if c.MaxSamples <= 0 {
+		c.MaxSamples = 1_000_000
+	}
+	return c
+}
+
+// Server wires the pool, cache, metrics, and handlers into one http.Handler.
+type Server struct {
+	cfg     Config
+	pool    *Pool
+	cache   *Cache
+	metrics *Metrics
+	mux     *http.ServeMux
+}
+
+// New builds a ready-to-serve Server. The caller owns its lifecycle: serve
+// s with net/http, then Close to drain the pool.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		pool:    NewPool(cfg.Workers, cfg.QueueSize),
+		cache:   NewCache(cfg.CacheSize),
+		metrics: NewMetrics(),
+		mux:     http.NewServeMux(),
+	}
+	s.metrics.Gauge("rayschedd_queue_depth", func() float64 { return float64(s.pool.QueueDepth()) })
+	s.metrics.Gauge("rayschedd_in_flight", func() float64 { return float64(s.pool.InFlight()) })
+	s.metrics.Gauge("rayschedd_cache_entries", func() float64 { return float64(s.cache.Len()) })
+	s.metrics.Gauge("rayschedd_cache_hits_total", func() float64 { h, _ := s.cache.Stats(); return float64(h) })
+	s.metrics.Gauge("rayschedd_cache_misses_total", func() float64 { _, m := s.cache.Stats(); return float64(m) })
+	s.metrics.Gauge("rayschedd_cache_hit_ratio", func() float64 {
+		h, m := s.cache.Stats()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	})
+
+	s.mux.HandleFunc("POST /v1/schedule", s.instrumented("/v1/schedule", s.handleSchedule))
+	s.mux.HandleFunc("POST /v1/latency", s.instrumented("/v1/latency", s.handleLatency))
+	s.mux.HandleFunc("POST /v1/reduce", s.instrumented("/v1/reduce", s.handleReduce))
+	s.mux.HandleFunc("POST /v1/estimate", s.instrumented("/v1/estimate", s.handleEstimate))
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// Close drains the worker pool: queued and in-flight jobs finish, new Do
+// calls fail. Call it after http.Server.Shutdown has returned.
+func (s *Server) Close() { s.pool.Close() }
+
+// statusWriter captures the status code for metrics.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+// instrumented wraps a handler with request counting and latency
+// observation under the given endpoint label.
+func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		start := time.Now()
+		h(sw, r)
+		s.metrics.Observe(endpoint, sw.status, time.Since(start).Seconds())
+	}
+}
+
+// writeJSON writes body (already-marshaled JSON) with status.
+func writeJSON(w http.ResponseWriter, status int, body []byte) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(body)
+}
+
+// writeError maps err onto an HTTP status and a JSON error body.
+func writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	var he *httpError
+	switch {
+	case errors.As(err, &he):
+		status = he.status
+	case errors.Is(err, context.DeadlineExceeded):
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, context.Canceled):
+		// The client went away; the status is for the access log only.
+		status = http.StatusGatewayTimeout
+	case errors.Is(err, ErrQueueFull):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, ErrPoolClosed):
+		status = http.StatusServiceUnavailable
+	}
+	body, merr := json.Marshal(errorBody{Error: err.Error()})
+	if merr != nil {
+		body = []byte(`{"error":"internal"}`)
+	}
+	writeJSON(w, status, body)
+}
+
+// deadline derives the request's compute context: the server default
+// timeout, tightened (never widened beyond MaxTimeout) by timeout_ms.
+func (s *Server) deadline(r *http.Request, timeoutMS int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.DefaultTimeout
+	if timeoutMS > 0 {
+		d = time.Duration(timeoutMS) * time.Millisecond
+		if d > s.cfg.MaxTimeout {
+			d = s.cfg.MaxTimeout
+		}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// serve is the shared request pipeline behind the four compute endpoints:
+// cache lookup on the canonical key, pool admission (429 on overflow),
+// deadline-bounded compute, response marshaling, cache fill. compute runs
+// on a pool worker.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, endpoint string, params any,
+	topology []byte, timeoutMS int64, compute func(ctx context.Context) (any, error)) {
+	key := requestKey(endpoint, params, topology)
+	if body, ok := s.cache.Get(key); ok {
+		w.Header().Set("X-Cache", "hit")
+		writeJSON(w, http.StatusOK, body)
+		return
+	}
+	ctx, cancel := s.deadline(r, timeoutMS)
+	defer cancel()
+	var (
+		body       []byte
+		computeErr error
+	)
+	err := s.pool.Do(ctx, func(ctx context.Context) {
+		resp, cerr := compute(ctx)
+		if cerr != nil {
+			computeErr = cerr
+			return
+		}
+		b, merr := json.Marshal(resp)
+		if merr != nil {
+			computeErr = merr
+			return
+		}
+		body = b
+	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	if computeErr != nil {
+		writeError(w, computeErr)
+		return
+	}
+	s.cache.Put(key, body)
+	w.Header().Set("X-Cache", "miss")
+	writeJSON(w, http.StatusOK, body)
+}
+
+// ---- endpoint handlers ----------------------------------------------------
+
+func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
+	var req scheduleRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	net, canon, err := parseTopology(req.Network, s.cfg.MaxLinks)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	p := scheduleParams{Algorithm: req.Algorithm, Beta: req.Beta}
+	if p.Algorithm == "" {
+		p.Algorithm = "greedy"
+	}
+	if p.Beta == 0 {
+		p.Beta = 2.5
+	}
+	if err := validateBeta(p.Beta); err != nil {
+		writeError(w, err)
+		return
+	}
+	switch p.Algorithm {
+	case "greedy", "weighted", "powercontrol":
+	default:
+		writeError(w, badRequest("unknown algorithm %q (want greedy, weighted, or powercontrol)", p.Algorithm))
+		return
+	}
+	s.serve(w, r, "/v1/schedule", p, canon, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return computeSchedule(ctx, p, net)
+	})
+}
+
+func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
+	var req latencyRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	net, canon, err := parseTopology(req.Network, s.cfg.MaxLinks)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	p := latencyParams{
+		Scheduler: req.Scheduler, Model: req.Model, Beta: req.Beta,
+		Prob: req.Prob, MaxSlots: req.MaxSlots, Seed: req.Seed,
+	}
+	if p.Scheduler == "" {
+		p.Scheduler = "repeated"
+	}
+	if p.Model == "" {
+		p.Model = "nonfading"
+	}
+	if p.Beta == 0 {
+		p.Beta = 2.5
+	}
+	if p.Prob == 0 {
+		p.Prob = 0.1
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if err := validateBeta(p.Beta); err != nil {
+		writeError(w, err)
+		return
+	}
+	switch p.Scheduler {
+	case "repeated", "aloha":
+	default:
+		writeError(w, badRequest("unknown scheduler %q (want repeated or aloha)", p.Scheduler))
+		return
+	}
+	switch p.Model {
+	case "nonfading", "rayleigh":
+	default:
+		writeError(w, badRequest("unknown model %q (want nonfading or rayleigh)", p.Model))
+		return
+	}
+	if p.Prob < 0 || p.Prob > 1 {
+		writeError(w, badRequest("prob %g outside (0,1]", p.Prob))
+		return
+	}
+	if p.MaxSlots < 0 {
+		writeError(w, badRequest("max_slots must be non-negative"))
+		return
+	}
+	s.serve(w, r, "/v1/latency", p, canon, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return computeLatency(ctx, p, net)
+	})
+}
+
+func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
+	var req reduceRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	net, canon, err := parseTopology(req.Network, s.cfg.MaxLinks)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	p := reduceParams{Beta: req.Beta, Prob: req.Prob, Samples: req.Samples, Seed: req.Seed}
+	if p.Beta == 0 {
+		p.Beta = 2.5
+	}
+	if p.Prob == 0 {
+		p.Prob = 0.5
+	}
+	if p.Samples == 0 {
+		p.Samples = 200
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if err := validateBeta(p.Beta); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := validateProb(p.Prob); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := validateSamples(p.Samples, s.cfg.MaxSamples); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.serve(w, r, "/v1/reduce", p, canon, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return computeReduce(ctx, p, net)
+	})
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	var req estimateRequest
+	if err := decodeJSON(w, r, s.cfg.MaxBodyBytes, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	net, canon, err := parseTopology(req.Network, s.cfg.MaxLinks)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	p := estimateParams{Beta: req.Beta, Prob: req.Prob, Samples: req.Samples, Seed: req.Seed}
+	if p.Beta == 0 {
+		p.Beta = 2.5
+	}
+	if p.Prob == 0 {
+		p.Prob = 0.5
+	}
+	if p.Samples == 0 {
+		p.Samples = 1000
+	}
+	if p.Seed == 0 {
+		p.Seed = 1
+	}
+	if err := validateBeta(p.Beta); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := validateProb(p.Prob); err != nil {
+		writeError(w, err)
+		return
+	}
+	if err := validateSamples(p.Samples, s.cfg.MaxSamples); err != nil {
+		writeError(w, err)
+		return
+	}
+	s.serve(w, r, "/v1/estimate", p, canon, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return computeEstimate(ctx, p, net)
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	body, _ := json.Marshal(healthResponse{Status: "ok", Version: version.Version})
+	writeJSON(w, http.StatusOK, body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.WriteTo(w)
+}
+
+// ---- shared validation -----------------------------------------------------
+
+func validateBeta(beta float64) error {
+	if !(beta > 0) || beta != beta {
+		return badRequest("beta %g must be positive", beta)
+	}
+	return nil
+}
+
+func validateProb(p float64) error {
+	if !(p > 0) || p > 1 {
+		return badRequest("prob %g outside (0,1]", p)
+	}
+	return nil
+}
+
+func validateSamples(n, max int) error {
+	if n < 1 || n > max {
+		return badRequest("samples %d outside [1,%d]", n, max)
+	}
+	return nil
+}

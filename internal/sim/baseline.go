@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"rayfade/internal/capacity"
@@ -67,6 +68,13 @@ type BaselineResult struct {
 
 // RunBaseline compares conflict-graph scheduling to SINR-aware scheduling.
 func RunBaseline(cfg BaselineConfig) *BaselineResult {
+	res, _ := RunBaselineCtx(context.Background(), cfg)
+	return res
+}
+
+// RunBaselineCtx is RunBaseline with cooperative cancellation; it returns
+// nil and ctx.Err() when the context is cancelled before the sweep finishes.
+func RunBaselineCtx(ctx context.Context, cfg BaselineConfig) (*BaselineResult, error) {
 	cfg = cfg.withDefaults()
 	type netResult struct {
 		gSize, gValid, gRay   float64
@@ -75,7 +83,7 @@ func RunBaseline(cfg BaselineConfig) *BaselineResult {
 		sRaySlots             float64
 	}
 	base := rng.New(cfg.Seed)
-	perNet := Parallel(cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
+	perNet, perErr := ParallelCtx(ctx, cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
 		netCfg := network.Figure1Config()
 		netCfg.N = cfg.Links
 		net, err := network.Random(netCfg, src)
@@ -114,6 +122,9 @@ func RunBaseline(cfg BaselineConfig) *BaselineResult {
 		}
 		return out
 	})
+	if perErr != nil {
+		return nil, perErr
+	}
 	res := &BaselineResult{Config: cfg}
 	for _, nr := range perNet {
 		res.GraphSetSize.Add(nr.gSize)
@@ -128,5 +139,5 @@ func RunBaseline(cfg BaselineConfig) *BaselineResult {
 			res.SINRRayleighSlots.Add(nr.sRaySlots)
 		}
 	}
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -70,6 +71,13 @@ type FadingSweepResult struct {
 // fading for each shape, against the non-fading count on identical
 // transmit sets.
 func RunFadingSweep(cfg FadingSweepConfig) *FadingSweepResult {
+	res, _ := RunFadingSweepCtx(context.Background(), cfg)
+	return res
+}
+
+// RunFadingSweepCtx is RunFadingSweep with cooperative cancellation; it returns nil
+// and ctx.Err() when the context is cancelled before the run completes.
+func RunFadingSweepCtx(ctx context.Context, cfg FadingSweepConfig) (*FadingSweepResult, error) {
 	cfg = cfg.withDefaults()
 	type netResult struct {
 		perShape *stats.Series
@@ -77,7 +85,7 @@ func RunFadingSweep(cfg FadingSweepConfig) *FadingSweepResult {
 		rl       stats.Running
 	}
 	base := rng.New(cfg.Seed)
-	perNet := Parallel(cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
+	perNet, perErr := ParallelCtx(ctx, cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
 		netCfg := network.Figure1Config()
 		netCfg.N = cfg.Links
 		net, err := network.Random(netCfg, src)
@@ -113,6 +121,9 @@ func RunFadingSweep(cfg FadingSweepConfig) *FadingSweepResult {
 		}
 		return out
 	})
+	if perErr != nil {
+		return nil, perErr
+	}
 	res := &FadingSweepResult{
 		Shapes:   cfg.Shapes,
 		PerShape: stats.NewSeries(cfg.Shapes),
@@ -123,7 +134,7 @@ func RunFadingSweep(cfg FadingSweepConfig) *FadingSweepResult {
 		res.NonFading.Merge(nr.nf)
 		res.Rayleigh.Merge(nr.rl)
 	}
-	return res
+	return res, nil
 }
 
 // RayleighShapeIndex returns the index of m = 1 in the sweep, or -1.

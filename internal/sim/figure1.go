@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -138,6 +139,13 @@ type Figure1Result struct {
 // counts successes in the non-fading model (per transmit seed) and in the
 // Rayleigh model (per transmit seed × fading seed).
 func RunFigure1(cfg Figure1Config) *Figure1Result {
+	res, _ := RunFigure1Ctx(context.Background(), cfg)
+	return res
+}
+
+// RunFigure1Ctx is RunFigure1 with cooperative cancellation; it returns nil
+// and ctx.Err() when the context is cancelled before the run completes.
+func RunFigure1Ctx(ctx context.Context, cfg Figure1Config) (*Figure1Result, error) {
 	cfg = cfg.withDefaults()
 	// Fixed order: iterating a map here would consume the replication's
 	// RNG stream in a map-iteration-dependent order and break determinism.
@@ -153,7 +161,7 @@ func RunFigure1(cfg Figure1Config) *Figure1Result {
 		curves map[string]*stats.Series
 	}
 	base := rng.New(cfg.Seed)
-	perNet := Parallel(cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
+	perNet, perErr := ParallelCtx(ctx, cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
 		out := netResult{curves: map[string]*stats.Series{
 			CurveUniformNonFading: stats.NewSeries(cfg.Probs),
 			CurveUniformRayleigh:  stats.NewSeries(cfg.Probs),
@@ -190,6 +198,9 @@ func RunFigure1(cfg Figure1Config) *Figure1Result {
 		}
 		return out
 	})
+	if perErr != nil {
+		return nil, perErr
+	}
 
 	res := &Figure1Result{Probs: cfg.Probs, Config: cfg, Curves: map[string]*stats.Series{
 		CurveUniformNonFading: stats.NewSeries(cfg.Probs),
@@ -202,7 +213,7 @@ func RunFigure1(cfg Figure1Config) *Figure1Result {
 			res.Curves[key].Merge(series)
 		}
 	}
-	return res
+	return res, nil
 }
 
 // CurveNames returns the curve keys in stable presentation order.

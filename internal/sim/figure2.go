@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"rayfade/internal/capacity"
@@ -113,6 +114,13 @@ type Figure2Result struct {
 // with independent randomness — in the Rayleigh model; the per-round
 // success counts are averaged across networks.
 func RunFigure2(cfg Figure2Config) *Figure2Result {
+	res, _ := RunFigure2Ctx(context.Background(), cfg)
+	return res
+}
+
+// RunFigure2Ctx is RunFigure2 with cooperative cancellation; it returns nil
+// and ctx.Err() when the context is cancelled before the run completes.
+func RunFigure2Ctx(ctx context.Context, cfg Figure2Config) (*Figure2Result, error) {
 	cfg = cfg.withDefaults()
 	rounds := make([]float64, cfg.Rounds)
 	for t := range rounds {
@@ -131,7 +139,7 @@ func RunFigure2(cfg Figure2Config) *Figure2Result {
 		l5NF, l5RL regret.Lemma5Stats
 	}
 	base := rng.New(cfg.Seed)
-	perNet := Parallel(cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
+	perNet, perErr := ParallelCtx(ctx, cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
 		netCfg := network.Config{
 			N:     cfg.Links,
 			Area:  squareArea(cfg.Side),
@@ -170,6 +178,9 @@ func RunFigure2(cfg Figure2Config) *Figure2Result {
 		out.sendRL = histRL.Rounds[len(histRL.Rounds)-1].AvgSendProb
 		return out
 	})
+	if perErr != nil {
+		return nil, perErr
+	}
 
 	res := &Figure2Result{
 		Rounds:    rounds,
@@ -190,5 +201,5 @@ func RunFigure2(cfg Figure2Config) *Figure2Result {
 		res.Lemma5NF = append(res.Lemma5NF, nr.l5NF)
 		res.Lemma5RL = append(res.Lemma5RL, nr.l5RL)
 	}
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"rayfade/internal/capacity"
@@ -65,6 +66,13 @@ type LatencyResult struct {
 
 // RunLatency measures all three latency schedulers in both models.
 func RunLatency(cfg LatencyConfig) *LatencyResult {
+	res, _ := RunLatencyCtx(context.Background(), cfg)
+	return res
+}
+
+// RunLatencyCtx is RunLatency with cooperative cancellation; it returns nil
+// and ctx.Err() when the context is cancelled before the run completes.
+func RunLatencyCtx(ctx context.Context, cfg LatencyConfig) (*LatencyResult, error) {
 	cfg = cfg.withDefaults()
 	type netResult struct {
 		schedLen, schedRL    stats.Running
@@ -73,7 +81,7 @@ func RunLatency(cfg LatencyConfig) *LatencyResult {
 		incomplete           int
 	}
 	base := rng.New(cfg.Seed)
-	perNet := Parallel(cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
+	perNet, perErr := ParallelCtx(ctx, cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
 		netCfg := network.Figure1Config()
 		netCfg.N = cfg.Links
 		net, err := network.Random(netCfg, src)
@@ -120,6 +128,9 @@ func RunLatency(cfg LatencyConfig) *LatencyResult {
 		}
 		return out
 	})
+	if perErr != nil {
+		return nil, perErr
+	}
 	res := &LatencyResult{Config: cfg}
 	for _, nr := range perNet {
 		res.ScheduleLen.Merge(nr.schedLen)
@@ -130,7 +141,7 @@ func RunLatency(cfg LatencyConfig) *LatencyResult {
 		res.BackoffRL.Merge(nr.backoffRL)
 		res.Incomplete += nr.incomplete
 	}
-	return res
+	return res, nil
 }
 
 func record(acc *stats.Running, incomplete *int, r latency.AlohaResult) {

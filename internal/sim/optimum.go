@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"rayfade/internal/capacity"
@@ -83,12 +84,19 @@ type OptimumResult struct {
 // RunOptimum estimates the Figure-1 workload's maximum feasible set size
 // under uniform powers, per network, by greedy and by local search.
 func RunOptimum(cfg OptimumConfig) *OptimumResult {
+	res, _ := RunOptimumCtx(context.Background(), cfg)
+	return res
+}
+
+// RunOptimumCtx is RunOptimum with cooperative cancellation; it returns nil
+// and ctx.Err() when the context is cancelled before the run completes.
+func RunOptimumCtx(ctx context.Context, cfg OptimumConfig) (*OptimumResult, error) {
 	cfg = cfg.withDefaults()
 	type netResult struct {
 		greedy, local, rayleigh float64
 	}
 	base := rng.New(cfg.Seed)
-	perNet := Parallel(cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
+	perNet, perErr := ParallelCtx(ctx, cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
 		netCfg := network.Config{
 			N:     cfg.Links,
 			Area:  squareArea(cfg.Side),
@@ -110,11 +118,14 @@ func RunOptimum(cfg OptimumConfig) *OptimumResult {
 			rayleigh: fading.ExpectedBinaryValueOfSet(m, set, cfg.Beta),
 		}
 	})
+	if perErr != nil {
+		return nil, perErr
+	}
 	res := &OptimumResult{Config: cfg}
 	for _, nr := range perNet {
 		res.Greedy.Add(nr.greedy)
 		res.LocalSearch.Add(nr.local)
 		res.RayleighOfOptimum.Add(nr.rayleigh)
 	}
-	return res
+	return res, nil
 }

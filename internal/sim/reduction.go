@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"rayfade/internal/fading"
@@ -73,6 +74,13 @@ type ReductionResult struct {
 // Monte-Carlo-evaluates each level in the non-fading model, and records the
 // ratio of the Rayleigh value to the best level's value.
 func RunReduction(cfg ReductionConfig) *ReductionResult {
+	res, _ := RunReductionCtx(context.Background(), cfg)
+	return res
+}
+
+// RunReductionCtx is RunReduction with cooperative cancellation; it returns
+// nil and ctx.Err() when the context is cancelled before the sweep finishes.
+func RunReductionCtx(ctx context.Context, cfg ReductionConfig) (*ReductionResult, error) {
 	cfg = cfg.withDefaults()
 	res := &ReductionResult{Config: cfg}
 	base := rng.New(cfg.Seed)
@@ -82,7 +90,7 @@ func RunReduction(cfg ReductionConfig) *ReductionResult {
 			Levels:  stats.TowerLevels(n),
 			LogStar: stats.LogStar(float64(n)),
 		}
-		ratios := Parallel(cfg.NetworksPer, cfg.Workers, base, func(rep int, src *rng.Source) float64 {
+		ratios, perErr := ParallelCtx(ctx, cfg.NetworksPer, cfg.Workers, base, func(rep int, src *rng.Source) float64 {
 			netCfg := network.Figure1Config()
 			netCfg.N = n
 			net, err := network.Random(netCfg, src)
@@ -102,10 +110,13 @@ func RunReduction(cfg ReductionConfig) *ReductionResult {
 			}
 			return rayleigh / best.Value.Mean
 		})
+		if perErr != nil {
+			return nil, perErr
+		}
 		for _, r := range ratios {
 			point.Ratio.Add(r)
 		}
 		res.Points = append(res.Points, point)
 	}
-	return res
+	return res, nil
 }

@@ -12,6 +12,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -52,6 +53,20 @@ func activeTracker() *progress.Tracker {
 // reps expected replications up front and reports each completion, giving
 // long runs an elapsed/ETA readout at no cost to the replication hot path.
 func Parallel[T any](reps, workers int, base *rng.Source, fn func(rep int, src *rng.Source) T) []T {
+	results, _ := ParallelCtx(context.Background(), reps, workers, base, fn)
+	return results
+}
+
+// ParallelCtx is Parallel with cooperative cancellation: when ctx is
+// cancelled, no further replications are started and ctx.Err() is returned
+// alongside the partial results (already-running replications finish — fn is
+// never interrupted mid-flight, so each results[r] is either complete or the
+// zero value). A nil error means every replication ran.
+//
+// Cancellation granularity is one replication. Experiments whose single
+// replications are long pass ctx into their inner scheduler loops as well
+// (see capacity and latency's Ctx variants).
+func ParallelCtx[T any](ctx context.Context, reps, workers int, base *rng.Source, fn func(rep int, src *rng.Source) T) ([]T, error) {
 	if reps < 0 {
 		panic(fmt.Sprintf("sim: negative replication count %d", reps))
 	}
@@ -63,17 +78,20 @@ func Parallel[T any](reps, workers int, base *rng.Source, fn func(rep int, src *
 	}
 	results := make([]T, reps)
 	if reps == 0 {
-		return results
+		return results, ctx.Err()
 	}
 	t := activeTracker()
 	t.AddTotal(reps)
 	srcs := base.SplitN(reps)
 	if workers <= 1 {
 		for r := 0; r < reps; r++ {
+			if err := ctx.Err(); err != nil {
+				return results, err
+			}
 			results[r] = fn(r, srcs[r])
 			t.ReplicationDone()
 		}
-		return results
+		return results, nil
 	}
 	var wg sync.WaitGroup
 	jobs := make(chan int)
@@ -87,10 +105,16 @@ func Parallel[T any](reps, workers int, base *rng.Source, fn func(rep int, src *
 			}
 		}()
 	}
+	done := ctx.Done()
+dispatch:
 	for r := 0; r < reps; r++ {
-		jobs <- r
+		select {
+		case jobs <- r:
+		case <-done:
+			break dispatch
+		}
 	}
 	close(jobs)
 	wg.Wait()
-	return results
+	return results, ctx.Err()
 }

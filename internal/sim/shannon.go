@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"rayfade/internal/fading"
@@ -89,13 +90,20 @@ type ShannonResult struct {
 // RunShannon measures E[Σ_i log(1+γ_i)] (nats) against the transmission
 // probability in both interference models on the Figure-1 geometry.
 func RunShannon(cfg ShannonConfig) *ShannonResult {
+	res, _ := RunShannonCtx(context.Background(), cfg)
+	return res
+}
+
+// RunShannonCtx is RunShannon with cooperative cancellation; it returns nil
+// and ctx.Err() when the context is cancelled before the run completes.
+func RunShannonCtx(ctx context.Context, cfg ShannonConfig) (*ShannonResult, error) {
 	cfg = cfg.withDefaults()
 	us := utility.Uniform(utility.Shannon{})
 	type netResult struct {
 		nf, rl, exact *stats.Series
 	}
 	base := rng.New(cfg.Seed)
-	perNet := Parallel(cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
+	perNet, perErr := ParallelCtx(ctx, cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
 		netCfg := network.Config{
 			N:     cfg.Links,
 			Area:  squareArea(cfg.Side),
@@ -139,6 +147,9 @@ func RunShannon(cfg ShannonConfig) *ShannonResult {
 		}
 		return out
 	})
+	if perErr != nil {
+		return nil, perErr
+	}
 	res := &ShannonResult{Probs: cfg.Probs, Config: cfg, Curves: map[string]*stats.Series{
 		CurveShannonNonFading: stats.NewSeries(cfg.Probs),
 		CurveShannonRayleigh:  stats.NewSeries(cfg.Probs),
@@ -153,5 +164,5 @@ func RunShannon(cfg ShannonConfig) *ShannonResult {
 			res.Curves[CurveShannonExact].Merge(nr.exact)
 		}
 	}
-	return res
+	return res, nil
 }

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"rayfade/internal/fading"
@@ -89,6 +90,13 @@ type TopologyResult struct {
 // RunTopology measures success-vs-probability curves on the deterministic
 // grid and on density-matched random networks, in both models.
 func RunTopology(cfg TopologyConfig) *TopologyResult {
+	res, _ := RunTopologyCtx(context.Background(), cfg)
+	return res
+}
+
+// RunTopologyCtx is RunTopology with cooperative cancellation; it returns nil
+// and ctx.Err() when the context is cancelled before the run completes.
+func RunTopologyCtx(ctx context.Context, cfg TopologyConfig) (*TopologyResult, error) {
 	cfg = cfg.withDefaults()
 	res := &TopologyResult{Probs: cfg.Probs, Config: cfg, Curves: map[string]*stats.Series{
 		CurveGridNonFading:   stats.NewSeries(cfg.Probs),
@@ -113,7 +121,7 @@ func RunTopology(cfg TopologyConfig) *TopologyResult {
 	area := float64(cfg.GridSide) * cfg.Spacing
 	type netSeries struct{ nf, rl *stats.Series }
 	base := rng.New(cfg.Seed)
-	perNet := Parallel(cfg.RandomNets, cfg.Workers, base, func(rep int, src *rng.Source) netSeries {
+	perNet, perErr := ParallelCtx(ctx, cfg.RandomNets, cfg.Workers, base, func(rep int, src *rng.Source) netSeries {
 		netCfg := network.Config{
 			N:     n,
 			Area:  squareArea(area),
@@ -131,11 +139,14 @@ func RunTopology(cfg TopologyConfig) *TopologyResult {
 		observeCurves(out.nf, out.rl, net.Gains(), cfg, src)
 		return out
 	})
+	if perErr != nil {
+		return nil, perErr
+	}
 	for _, ns := range perNet {
 		res.Curves[CurveRandomNonFading].Merge(ns.nf)
 		res.Curves[CurveRandomRayleigh].Merge(ns.rl)
 	}
-	return res
+	return res, nil
 }
 
 // observeCurves fills a non-fading and a Rayleigh series for one matrix,

@@ -28,6 +28,7 @@
 package transform
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -233,6 +234,15 @@ type StepValue struct {
 // constant of the whole simulation, hence within O(log* n) of the Rayleigh
 // optimum.
 func BestStep(m *network.Matrix, steps []Step, us []utility.Func, samplesPerStep int, src *rng.Source) (best StepValue, all []StepValue) {
+	best, all, _ = BestStepCtx(context.Background(), m, steps, us, samplesPerStep, src)
+	return best, all
+}
+
+// BestStepCtx is BestStep with cooperative cancellation: ctx is polled once
+// per Monte-Carlo sample, and ctx.Err() is returned (with zero-valued best
+// and nil all) when cancelled — a partially sampled step comparison would
+// not be a meaningful estimate.
+func BestStepCtx(ctx context.Context, m *network.Matrix, steps []Step, us []utility.Func, samplesPerStep int, src *rng.Source) (best StepValue, all []StepValue, err error) {
 	if len(steps) == 0 {
 		panic("transform: empty schedule")
 	}
@@ -244,6 +254,9 @@ func BestStep(m *network.Matrix, steps []Step, us []utility.Func, samplesPerStep
 	for k, step := range steps {
 		var sum, sumSq float64
 		for s := 0; s < samplesPerStep; s++ {
+			if err := ctx.Err(); err != nil {
+				return StepValue{}, nil, err
+			}
 			for i := range active {
 				active[i] = src.Bernoulli(step.Probs[i])
 			}
@@ -268,7 +281,7 @@ func BestStep(m *network.Matrix, steps []Step, us []utility.Func, samplesPerStep
 			best = sv
 		}
 	}
-	return best, all
+	return best, all, nil
 }
 
 // ExpandSchedule converts a non-fading latency schedule (one transmitting

@@ -1,0 +1,9 @@
+// Package version centralizes the release identifier stamped into every
+// binary (raysched, raygen, rayschedd) and reported by the daemon's
+// /healthz endpoint, so one constant bumps them all together.
+package version
+
+// Version identifies the source tree the binaries were built from. It is a
+// plain constant (not ldflags-injected) so `go run` and `go test` report
+// the same value as release builds.
+const Version = "0.2.0"
