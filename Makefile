@@ -1,8 +1,9 @@
 # Convenience targets for the rayfade reproduction.
 
 GO ?= go
+LABEL ?= local
 
-.PHONY: all build vet test race bench cover figures results serve fuzz clean
+.PHONY: all build vet test race bench bench-json bench-compare golden golden-check cover figures results serve fuzz clean
 
 all: build vet test
 
@@ -20,6 +21,28 @@ race:
 
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# Machine-readable benchmark run: writes BENCH_$(LABEL).json via the
+# raybench harness (use LABEL=... to tag the run; add RAYBENCH_FLAGS=-quick
+# for the smoke subset).
+bench-json:
+	$(GO) run ./cmd/raybench run -label $(LABEL) $(RAYBENCH_FLAGS)
+
+# Compare a fresh quick run against the committed seed baseline
+# (allocation metric: machine-independent, so it is meaningful anywhere).
+bench-compare:
+	$(GO) run ./cmd/raybench run -quick -label compare-tmp -out /tmp/BENCH_compare-tmp.json
+	$(GO) run ./cmd/raybench compare -metric allocs -threshold 0.40 results/BENCH_seed.json /tmp/BENCH_compare-tmp.json
+
+# Regenerate the golden determinism manifest (after an intentional change
+# to any experiment's fixed-seed output).
+golden:
+	$(GO) run ./cmd/raybench golden -out results/golden.json
+
+# Verify every sim experiment still reproduces its recorded fixed-seed
+# hash; exits non-zero on drift.
+golden-check:
+	$(GO) run ./cmd/raybench golden -check
 
 cover:
 	$(GO) test -cover ./...

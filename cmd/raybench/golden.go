@@ -1,0 +1,243 @@
+package main
+
+// Golden determinism: every sim experiment is run under a small fixed-seed
+// configuration (Workers unset, so GOMAXPROCS-wide parallelism must still
+// reproduce — the worker-independence contract of sim.ParallelCtx is part
+// of what the hash pins) and rendered to a canonical full-precision text
+// form, whose SHA-256 lands in results/golden.json. Full precision matters:
+// the %.2f-style human renderings would mask low-order floating-point
+// drift, which is exactly the signal a determinism gate exists to catch.
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"rayfade/internal/benchio"
+	"rayfade/internal/opt"
+	"rayfade/internal/sim"
+	"rayfade/internal/stats"
+)
+
+// goldenExperiment is one fixed-seed experiment in the manifest.
+type goldenExperiment struct {
+	name string
+	note string
+	run  func(ctx context.Context) (string, error)
+}
+
+// computeGolden runs every golden experiment and returns the fresh
+// manifest.
+func computeGolden(ctx context.Context) (*benchio.GoldenManifest, error) {
+	m := &benchio.GoldenManifest{Entries: map[string]benchio.GoldenEntry{}}
+	for _, exp := range goldenExperiments() {
+		out, err := exp.run(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("golden %s: %w", exp.name, err)
+		}
+		m.Entries[exp.name] = benchio.GoldenEntry{
+			SHA256: benchio.HashBytes([]byte(out)),
+			Note:   exp.note,
+		}
+	}
+	return m, nil
+}
+
+// ---- canonical rendering ---------------------------------------------------
+
+// fullPrec renders a float with enough digits to round-trip exactly.
+func fullPrec(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func writeRunning(sb *strings.Builder, name string, r stats.Running) {
+	fmt.Fprintf(sb, "%s n=%d mean=%s stderr=%s min=%s max=%s\n",
+		name, r.N(), fullPrec(r.Mean()), fullPrec(r.StdErr()), fullPrec(r.Min()), fullPrec(r.Max()))
+}
+
+func writeSeries(sb *strings.Builder, name string, xs []float64, s *stats.Series) {
+	for i, x := range xs {
+		fmt.Fprintf(sb, "%s x=%s n=%d mean=%s stderr=%s\n",
+			name, fullPrec(x), s.Acc[i].N(), fullPrec(s.Acc[i].Mean()), fullPrec(s.Acc[i].StdErr()))
+	}
+}
+
+func writeCurves(sb *strings.Builder, xs []float64, curves map[string]*stats.Series) {
+	names := make([]string, 0, len(curves))
+	for name := range curves {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		writeSeries(sb, name, xs, curves[name])
+	}
+}
+
+// ---- the experiments -------------------------------------------------------
+
+func goldenExperiments() []goldenExperiment {
+	return []goldenExperiment{
+		{
+			name: "figure1",
+			note: "networks=2 links=40 txseeds=3 fadeseeds=2 probs=5@[0.2,1] seed=1",
+			run: func(ctx context.Context) (string, error) {
+				res, err := sim.RunFigure1Ctx(ctx, sim.Figure1Config{
+					Networks: 2, Links: 40, TransmitSeeds: 3, FadingSeeds: 2,
+					Probs: stats.Linspace(0.2, 1.0, 5), Seed: 1,
+				})
+				if err != nil {
+					return "", err
+				}
+				var sb strings.Builder
+				writeCurves(&sb, res.Probs, res.Curves)
+				return sb.String(), nil
+			},
+		},
+		{
+			name: "figure2",
+			note: "networks=2 links=40 rounds=15 seed=2 learner=rwm",
+			run: func(ctx context.Context) (string, error) {
+				res, err := sim.RunFigure2Ctx(ctx, sim.Figure2Config{
+					Networks: 2, Links: 40, Rounds: 15, Seed: 2,
+				})
+				if err != nil {
+					return "", err
+				}
+				var sb strings.Builder
+				writeSeries(&sb, "non-fading", res.Rounds, res.NonFading)
+				writeSeries(&sb, "rayleigh", res.Rounds, res.Rayleigh)
+				writeRunning(&sb, "greedy-ref", res.GreedyRef)
+				writeRunning(&sb, "regret-nf", res.RegretNF)
+				writeRunning(&sb, "regret-rl", res.RegretRL)
+				writeRunning(&sb, "converged-nf", res.ConvergedNF)
+				writeRunning(&sb, "converged-rl", res.ConvergedRL)
+				writeRunning(&sb, "sendprob-nf", res.FinalSendProbNF)
+				writeRunning(&sb, "sendprob-rl", res.FinalSendProbRL)
+				for i, s := range res.Lemma5NF {
+					fmt.Fprintf(&sb, "lemma5-nf i=%d F=%s X=%s\n", i, fullPrec(s.F), fullPrec(s.X))
+				}
+				for i, s := range res.Lemma5RL {
+					fmt.Fprintf(&sb, "lemma5-rl i=%d F=%s X=%s\n", i, fullPrec(s.F), fullPrec(s.X))
+				}
+				return sb.String(), nil
+			},
+		},
+		{
+			name: "optimum",
+			note: "networks=2 links=30 restarts=2 swappasses=5 seed=3",
+			run: func(ctx context.Context) (string, error) {
+				res, err := sim.RunOptimumCtx(ctx, sim.OptimumConfig{
+					Networks: 2, Links: 30,
+					Search: opt.LocalSearchConfig{Restarts: 2, SwapPasses: 5},
+					Seed:   3,
+				})
+				if err != nil {
+					return "", err
+				}
+				var sb strings.Builder
+				writeRunning(&sb, "greedy", res.Greedy)
+				writeRunning(&sb, "local-search", res.LocalSearch)
+				writeRunning(&sb, "rayleigh-of-optimum", res.RayleighOfOptimum)
+				return sb.String(), nil
+			},
+		},
+		{
+			name: "reduction",
+			note: "sizes=25,50 networksper=2 samples=50 seed=4",
+			run: func(ctx context.Context) (string, error) {
+				res, err := sim.RunReductionCtx(ctx, sim.ReductionConfig{
+					Sizes: []int{25, 50}, NetworksPer: 2, SamplesPerStp: 50, Seed: 4,
+				})
+				if err != nil {
+					return "", err
+				}
+				var sb strings.Builder
+				for _, p := range res.Points {
+					fmt.Fprintf(&sb, "point n=%d logstar=%d levels=%d\n", p.N, p.LogStar, p.Levels)
+					writeRunning(&sb, "ratio", p.Ratio)
+				}
+				return sb.String(), nil
+			},
+		},
+		{
+			name: "baseline",
+			note: "networks=2 links=40 seed=9",
+			run: func(ctx context.Context) (string, error) {
+				res, err := sim.RunBaselineCtx(ctx, sim.BaselineConfig{
+					Networks: 2, Links: 40, Seed: 9,
+				})
+				if err != nil {
+					return "", err
+				}
+				var sb strings.Builder
+				writeRunning(&sb, "graph-set-size", res.GraphSetSize)
+				writeRunning(&sb, "graph-sinr-valid", res.GraphSINRValid)
+				writeRunning(&sb, "graph-rayleigh", res.GraphRayleigh)
+				writeRunning(&sb, "sinr-set-size", res.SINRSetSize)
+				writeRunning(&sb, "sinr-rayleigh", res.SINRRayleigh)
+				writeRunning(&sb, "graph-slots", res.GraphSlots)
+				writeRunning(&sb, "graph-violations", res.GraphViolations)
+				writeRunning(&sb, "sinr-slots", res.SINRSlots)
+				writeRunning(&sb, "sinr-rayleigh-slots", res.SINRRayleighSlots)
+				return sb.String(), nil
+			},
+		},
+		{
+			name: "fadingsweep",
+			note: "networks=2 links=40 txseeds=3 fadeseeds=2 prob=0.5 seed=5",
+			run: func(ctx context.Context) (string, error) {
+				res, err := sim.RunFadingSweepCtx(ctx, sim.FadingSweepConfig{
+					Networks: 2, Links: 40, TransmitSeeds: 3, FadingSeeds: 2,
+					Prob: 0.5, Seed: 5,
+				})
+				if err != nil {
+					return "", err
+				}
+				var sb strings.Builder
+				writeSeries(&sb, "per-shape", res.Shapes, res.PerShape)
+				writeRunning(&sb, "non-fading", res.NonFading)
+				writeRunning(&sb, "rayleigh-exact", res.Rayleigh)
+				return sb.String(), nil
+			},
+		},
+		{
+			name: "latencyexp",
+			note: "networks=2 links=40 trials=2 seed=8",
+			run: func(ctx context.Context) (string, error) {
+				res, err := sim.RunLatencyCtx(ctx, sim.LatencyConfig{
+					Networks: 2, Links: 40, Trials: 2, Seed: 8,
+				})
+				if err != nil {
+					return "", err
+				}
+				var sb strings.Builder
+				writeRunning(&sb, "schedule-len", res.ScheduleLen)
+				writeRunning(&sb, "schedule-rayleigh", res.ScheduleRayleigh)
+				writeRunning(&sb, "aloha-nf", res.AlohaNF)
+				writeRunning(&sb, "aloha-rl", res.AlohaRL)
+				writeRunning(&sb, "backoff-nf", res.BackoffNF)
+				writeRunning(&sb, "backoff-rl", res.BackoffRL)
+				fmt.Fprintf(&sb, "incomplete=%d\n", res.Incomplete)
+				return sb.String(), nil
+			},
+		},
+		{
+			name: "shannon",
+			note: "networks=2 links=30 txseeds=2 fadeseeds=2 probs=4@[0.2,1] seed=7",
+			run: func(ctx context.Context) (string, error) {
+				res, err := sim.RunShannonCtx(ctx, sim.ShannonConfig{
+					Networks: 2, Links: 30, TransmitSeeds: 2, FadingSeeds: 2,
+					Probs: stats.Linspace(0.2, 1.0, 4), Seed: 7,
+				})
+				if err != nil {
+					return "", err
+				}
+				var sb strings.Builder
+				writeCurves(&sb, res.Probs, res.Curves)
+				return sb.String(), nil
+			},
+		},
+	}
+}

@@ -1,0 +1,280 @@
+// Command raybench is the repo's reproducible performance and determinism
+// harness. It runs a curated suite of end-to-end benchmark scenarios over
+// the hot paths (fading sample kernels, SINR aggregation, one-shot capacity
+// scheduling, latency minimization, the Lemma-2 transform, sim.ParallelCtx
+// scaling, and rayschedd request throughput), writes the measurements to a
+// schema-versioned BENCH_<label>.json, compares two such reports with a
+// noise threshold, and maintains the golden-determinism manifest of every
+// sim experiment's fixed-seed output.
+//
+// Subcommands:
+//
+//	run      measure the scenario suite and write BENCH_<label>.json
+//	compare  diff two BENCH files; exits 1 on regressions beyond the threshold
+//	golden   recompute fixed-seed experiment hashes; -check verifies results/golden.json
+//	version  print the release version
+//
+// Typical workflows:
+//
+//	raybench run -quick -label pr                      # PR smoke measurement
+//	raybench compare BENCH_seed.json BENCH_pr.json -threshold 0.40
+//	raybench golden -check                             # determinism gate
+//	raybench golden -out results/golden.json           # regenerate after an intentional change
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"rayfade/internal/benchio"
+	"rayfade/internal/version"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	var err error
+	switch os.Args[1] {
+	case "run":
+		err = cmdRun(ctx, os.Args[2:])
+	case "compare":
+		err = cmdCompare(os.Args[2:])
+	case "golden":
+		err = cmdGolden(ctx, os.Args[2:])
+	case "version", "-version", "--version":
+		fmt.Printf("raybench %s\n", version.Version)
+	case "-h", "--help", "help":
+		usage()
+	default:
+		fmt.Fprintf(os.Stderr, "raybench: unknown subcommand %q\n", os.Args[1])
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "raybench: interrupted")
+			os.Exit(130)
+		}
+		fmt.Fprintln(os.Stderr, "raybench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: raybench <subcommand> [flags]
+
+subcommands:
+  run      measure the benchmark suite and write BENCH_<label>.json
+  compare  compare two BENCH files; exit 1 on regressions beyond the threshold
+  golden   hash fixed-seed experiment outputs; -check verifies the manifest
+  version  print the release version
+  help     print this message
+
+run 'raybench <subcommand> -h' for flags; unknown subcommands exit 2`)
+}
+
+// gitSHA best-effort resolves the current revision; a non-repo checkout or
+// missing git binary degrades to an empty field, never an error.
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "HEAD").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+func cmdRun(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("run", flag.ExitOnError)
+	quick := fs.Bool("quick", false, "smoke settings: quick scenario subset, fewer reps, shorter reps")
+	label := fs.String("label", "local", "report label (file name defaults to BENCH_<label>.json)")
+	out := fs.String("out", "", "output path (default BENCH_<label>.json)")
+	reps := fs.Int("reps", 0, "timed repetitions per scenario (0 = mode default)")
+	warmup := fs.Int("warmup", 0, "warmup iterations per scenario (0 = mode default)")
+	minTime := fs.Duration("mintime", 0, "per-rep wall-time target (0 = mode default)")
+	filter := fs.String("filter", "", "only run scenarios whose name contains this substring")
+	list := fs.Bool("list", false, "list scenario names and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	suite := scenarios()
+	if *list {
+		for _, sc := range suite {
+			mode := "full"
+			if sc.quick {
+				mode = "quick"
+			}
+			fmt.Printf("%-44s %s\n", sc.name, mode)
+		}
+		return nil
+	}
+	opts := benchio.Options{}
+	if *quick {
+		opts = benchio.Quick()
+	}
+	if *reps > 0 {
+		opts.Reps = *reps
+	}
+	if *warmup > 0 {
+		opts.WarmupIters = *warmup
+	}
+	if *minTime > 0 {
+		opts.MinTime = *minTime
+	}
+	report := &benchio.Report{
+		Label:    *label,
+		UnixTime: time.Now().Unix(),
+		Env:      benchio.CaptureEnv(gitSHA()),
+	}
+	for _, sc := range suite {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if *quick && !sc.quick {
+			continue
+		}
+		if *filter != "" && !strings.Contains(sc.name, *filter) {
+			continue
+		}
+		op, cleanup, err := sc.setup()
+		if err != nil {
+			return fmt.Errorf("setup %s: %w", sc.name, err)
+		}
+		start := time.Now()
+		s := benchio.Measure(sc.name, opts, op)
+		cleanup()
+		report.Scenarios = append(report.Scenarios, s)
+		fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/op %10.1f allocs/op %10.0f ops/s  (%s)\n",
+			sc.name, s.NsPerOp, s.AllocsPerOp, s.OpsPerSec, time.Since(start).Round(time.Millisecond))
+	}
+	if len(report.Scenarios) == 0 {
+		return fmt.Errorf("no scenarios matched (filter %q, quick=%v)", *filter, *quick)
+	}
+	path := *out
+	if path == "" {
+		path = "BENCH_" + *label + ".json"
+	}
+	if err := benchio.WriteReport(path, report); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d scenarios to %s\n", len(report.Scenarios), path)
+	return nil
+}
+
+func cmdCompare(args []string) error {
+	fs := flag.NewFlagSet("compare", flag.ExitOnError)
+	threshold := fs.Float64("threshold", 0.10, "relative noise threshold (0.40 = ±40%)")
+	metric := fs.String("metric", "time", "metric to gate on: time (ns/op) or allocs (allocs/op)")
+	// Accept flags before or after the positional paths: flag.Parse stops
+	// at the first non-flag, so collect positionals and re-parse the rest.
+	var paths []string
+	rest := args
+	for {
+		if err := fs.Parse(rest); err != nil {
+			return err
+		}
+		if fs.NArg() == 0 {
+			break
+		}
+		paths = append(paths, fs.Arg(0))
+		rest = fs.Args()[1:]
+	}
+	if len(paths) != 2 {
+		return fmt.Errorf("compare wants exactly two report paths, got %d", len(paths))
+	}
+	var m benchio.Metric
+	switch *metric {
+	case "time":
+		m = benchio.MetricTime
+	case "allocs":
+		m = benchio.MetricAllocs
+	default:
+		return fmt.Errorf("unknown metric %q (want time or allocs)", *metric)
+	}
+	oldRep, err := benchio.ReadReport(paths[0])
+	if err != nil {
+		return err
+	}
+	newRep, err := benchio.ReadReport(paths[1])
+	if err != nil {
+		return err
+	}
+	if m == benchio.MetricTime && oldRep.Env.CPUModel != newRep.Env.CPUModel {
+		fmt.Fprintf(os.Stderr, "warning: comparing times across CPU models (%q vs %q) — deltas reflect hardware, not code\n",
+			oldRep.Env.CPUModel, newRep.Env.CPUModel)
+	}
+	res := benchio.Compare(oldRep, newRep, m, *threshold)
+	if err := res.WriteText(os.Stdout); err != nil {
+		return err
+	}
+	if res.Failed() {
+		return fmt.Errorf("%d regression(s) beyond ±%.0f%% and/or %d missing scenario(s)",
+			len(res.Regressions()), *threshold*100, len(res.Missing))
+	}
+	fmt.Printf("no regressions beyond ±%.0f%% (%s)\n", *threshold*100, *metric)
+	return nil
+}
+
+func cmdGolden(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("golden", flag.ExitOnError)
+	path := fs.String("path", "results/golden.json", "manifest path")
+	check := fs.Bool("check", false, "verify against the recorded manifest instead of writing")
+	out := fs.String("out", "", "write the recomputed manifest here (default: -path)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	computed, err := computeGolden(ctx)
+	if err != nil {
+		return err
+	}
+	if *check {
+		recorded, err := benchio.ReadGolden(*path)
+		if err != nil {
+			return err
+		}
+		diff := benchio.DiffGolden(recorded, computed)
+		if diff.Clean() {
+			fmt.Printf("golden: %d experiments byte-identical to %s\n", len(recorded.Entries), *path)
+			return nil
+		}
+		for _, name := range diff.Mismatched {
+			fmt.Printf("MISMATCH %-12s recorded %s != computed %s\n",
+				name, short(recorded.Entries[name].SHA256), short(computed.Entries[name].SHA256))
+		}
+		for _, name := range diff.Missing {
+			fmt.Printf("MISSING  %-12s recorded but no longer computed\n", name)
+		}
+		for _, name := range diff.Extra {
+			fmt.Printf("EXTRA    %-12s computed but not recorded (regenerate the manifest)\n", name)
+		}
+		return fmt.Errorf("golden manifest drift: %d mismatched, %d missing, %d extra (regenerate with 'raybench golden' if intentional)",
+			len(diff.Mismatched), len(diff.Missing), len(diff.Extra))
+	}
+	dest := *out
+	if dest == "" {
+		dest = *path
+	}
+	if err := benchio.WriteGolden(dest, computed); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d experiment hashes to %s\n", len(computed.Entries), dest)
+	return nil
+}
+
+func short(hash string) string {
+	if len(hash) > 12 {
+		return hash[:12]
+	}
+	return hash
+}

@@ -1,0 +1,227 @@
+package main
+
+// The scenario suite: each scenario isolates one hot path the ROADMAP's
+// perf work targets, end to end. Setup (network generation, schedule
+// construction, server start) happens outside the measured operation; the
+// op closure is the steady-state work a production deployment repeats.
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+
+	"rayfade/internal/capacity"
+	"rayfade/internal/fading"
+	"rayfade/internal/latency"
+	"rayfade/internal/network"
+	"rayfade/internal/rng"
+	"rayfade/internal/server"
+	"rayfade/internal/sim"
+	"rayfade/internal/sinr"
+	"rayfade/internal/stats"
+	"rayfade/internal/transform"
+	"rayfade/internal/utility"
+)
+
+// scenario is one named measurement. quick scenarios form the PR smoke
+// subset; the full suite adds the heavier end-to-end runs.
+type scenario struct {
+	name  string
+	quick bool
+	// setup builds the op under test and a cleanup (never nil). Errors
+	// abort the whole run — a half-measured suite is worse than none.
+	setup func() (op func(), cleanup func(), err error)
+}
+
+func noCleanup() {}
+
+// benchNetwork draws the deterministic Figure-1-style instance scenarios
+// share (same generator as bench_test.go's benchMatrix).
+func benchNetwork(links int, seed uint64) (*network.Network, error) {
+	cfg := network.Figure1Config()
+	cfg.N = links
+	return network.Random(cfg, rng.New(seed))
+}
+
+// scenarios returns the suite in execution order. Names are stable
+// identifiers — compare keys reports by them, so renaming one orphans its
+// baseline.
+func scenarios() []scenario {
+	list := []scenario{
+		{name: "fading/sample-dense-200", quick: true, setup: func() (func(), func(), error) {
+			return sampleSINRsOp(200, 23, func(active []bool) {
+				for i := range active {
+					active[i] = true
+				}
+			})
+		}},
+		{name: "fading/sample-sparse-200", quick: true, setup: func() (func(), func(), error) {
+			return sampleSINRsOp(200, 24, func(active []bool) {
+				for i := 0; i < len(active); i += 10 {
+					active[i] = true
+				}
+			})
+		}},
+		{name: "sinr/values-dense-200", quick: true, setup: func() (func(), func(), error) {
+			net, err := benchNetwork(200, 23)
+			if err != nil {
+				return nil, nil, err
+			}
+			m := net.Gains()
+			active := make([]bool, m.N)
+			for i := range active {
+				active[i] = true
+			}
+			vals := make([]float64, m.N)
+			return func() { sinr.ValuesInto(m, active, vals) }, noCleanup, nil
+		}},
+		{name: "fading/expected-successes-100", quick: true, setup: func() (func(), func(), error) {
+			net, err := benchNetwork(100, 1)
+			if err != nil {
+				return nil, nil, err
+			}
+			m := net.Gains()
+			q := fading.UniformProbs(m.N, 0.5)
+			return func() { fading.ExpectedSuccessesExact(m, q, 2.5) }, noCleanup, nil
+		}},
+		{name: "capacity/greedy-oneshot-100", quick: true, setup: func() (func(), func(), error) {
+			net, err := benchNetwork(100, 4)
+			if err != nil {
+				return nil, nil, err
+			}
+			m := net.Gains()
+			order := capacity.LengthOrder(net)
+			return func() { capacity.GreedyAffectance(m, 2.5, capacity.DefaultTau, order) }, noCleanup, nil
+		}},
+		{name: "latency/repeated-capacity-100", quick: true, setup: func() (func(), func(), error) {
+			net, err := benchNetwork(100, 7)
+			if err != nil {
+				return nil, nil, err
+			}
+			m := net.Gains()
+			capFn := latency.GreedyCapacity(capacity.LengthOrder(net), capacity.DefaultTau)
+			return func() {
+				if _, err := latency.RepeatedCapacity(m, 2.5, capFn); err != nil {
+					panic(fmt.Sprintf("raybench: latency scenario: %v", err))
+				}
+			}, noCleanup, nil
+		}},
+		{name: "transform/lemma2-transfer-100", quick: true, setup: func() (func(), func(), error) {
+			net, err := benchNetwork(100, 4)
+			if err != nil {
+				return nil, nil, err
+			}
+			m := net.Gains()
+			set := capacity.GreedyUniform(net, 2.5)
+			us := utility.Uniform(utility.Binary{Beta: 2.5})
+			return func() { transform.Transfer(m, set, us) }, noCleanup, nil
+		}},
+	}
+	for _, workers := range []int{1, 4, 8} {
+		w := workers
+		list = append(list, scenario{
+			name:  fmt.Sprintf("sim/figure1-small/workers=%d", w),
+			quick: true,
+			setup: func() (func(), func(), error) {
+				cfg := sim.Figure1Config{
+					Networks:      8,
+					Links:         40,
+					TransmitSeeds: 2,
+					FadingSeeds:   2,
+					Probs:         stats.Linspace(0.2, 1.0, 3),
+					Seed:          19,
+					Workers:       w,
+				}
+				return func() { sim.RunFigure1(cfg) }, noCleanup, nil
+			},
+		})
+	}
+	list = append(list,
+		scenario{name: "server/estimate-compute", quick: true, setup: func() (func(), func(), error) {
+			// Caching disabled and a fresh seed per request: every request
+			// exercises admission, compute, and marshaling.
+			return serverOp(server.Config{CacheSize: -1}, func(counter *atomic.Uint64) ([]byte, error) {
+				topo, err := server.BenchTopology(40, 1)
+				if err != nil {
+					return nil, err
+				}
+				return server.BenchEstimateRequest(topo, 100, counter.Add(1))
+			}, true)
+		}},
+		scenario{name: "server/estimate-cache-hit", quick: true, setup: func() (func(), func(), error) {
+			// One fixed body: after the first request everything replays
+			// from the LRU — the daemon's best-case request throughput.
+			return serverOp(server.Config{}, func(*atomic.Uint64) ([]byte, error) {
+				topo, err := server.BenchTopology(40, 1)
+				if err != nil {
+					return nil, err
+				}
+				return server.BenchEstimateRequest(topo, 100, 1)
+			}, false)
+		}},
+	)
+	return list
+}
+
+// sampleSINRsOp builds the allocation-free Rayleigh sampling op over a
+// links-sized instance with the given activation pattern.
+func sampleSINRsOp(links int, seed uint64, fill func(active []bool)) (func(), func(), error) {
+	net, err := benchNetwork(links, seed)
+	if err != nil {
+		return nil, nil, err
+	}
+	m := net.Gains()
+	active := make([]bool, m.N)
+	fill(active)
+	vals := make([]float64, m.N)
+	idx := make([]int, 0, m.N)
+	src := rng.New(25)
+	return func() { fading.SampleSINRsInto(m, active, src, vals, idx) }, noCleanup, nil
+}
+
+// serverOp starts an httptest rayschedd and returns an op that posts one
+// /v1/estimate request and drains the response. When perRequest is true the
+// body builder runs per call (fresh seed → cache miss); otherwise the body
+// is built once and reused (cache hit after the first call).
+func serverOp(cfg server.Config, body func(*atomic.Uint64) ([]byte, error), perRequest bool) (func(), func(), error) {
+	srv := server.New(cfg)
+	ts := httptest.NewServer(srv)
+	cleanup := func() {
+		ts.Close()
+		srv.Close()
+	}
+	var counter atomic.Uint64
+	var fixed []byte
+	if !perRequest {
+		b, err := body(&counter)
+		if err != nil {
+			cleanup()
+			return nil, nil, err
+		}
+		fixed = b
+	}
+	client := ts.Client()
+	op := func() {
+		payload := fixed
+		if perRequest {
+			b, err := body(&counter)
+			if err != nil {
+				panic(fmt.Sprintf("raybench: server scenario body: %v", err))
+			}
+			payload = b
+		}
+		resp, err := client.Post(ts.URL+"/v1/estimate", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			panic(fmt.Sprintf("raybench: server scenario: %v", err))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("raybench: server scenario: status %d", resp.StatusCode))
+		}
+	}
+	return op, cleanup, nil
+}

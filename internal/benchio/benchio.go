@@ -1,0 +1,259 @@
+// Package benchio is the measurement and serialization layer behind
+// cmd/raybench: a small harness that times a function with warmup and
+// repeated measurement, records allocation behaviour, and reads/writes the
+// schema-versioned BENCH_<label>.json reports the repo's performance
+// trajectory is built from.
+//
+// The package is deliberately generic — it knows nothing about fading,
+// SINR, or the sim experiments. Scenario definitions live in cmd/raybench;
+// benchio owns the measurement loop, the report schema, the regression
+// comparison (compare.go), and the golden-determinism manifest (golden.go),
+// so all three are unit-testable without running real workloads.
+package benchio
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"time"
+)
+
+// SchemaVersion identifies the BENCH report layout. Readers reject files
+// with a different version instead of misinterpreting them.
+const SchemaVersion = 1
+
+// Report is one benchmark run: every scenario measured under one
+// environment, tagged with a label ("seed", "pr", "local", ...).
+type Report struct {
+	// Schema is SchemaVersion at write time.
+	Schema int `json:"schema"`
+	// Label names the run; the conventional file name is BENCH_<label>.json.
+	Label string `json:"label"`
+	// UnixTime is the capture time (seconds since epoch).
+	UnixTime int64 `json:"unix_time"`
+	// Env describes the machine and source tree the numbers came from.
+	// Cross-machine time comparisons are meaningless; Env is what lets a
+	// reader notice that before trusting a delta.
+	Env Env `json:"env"`
+	// Scenarios are the per-scenario measurements, in suite order.
+	Scenarios []Scenario `json:"scenarios"`
+}
+
+// Env captures where a report was measured. Allocation counts are
+// machine-independent; times are only comparable between reports whose Env
+// matches in the fields that matter (CPU model, GOMAXPROCS).
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOOS       string `json:"goos"`
+	GOARCH     string `json:"goarch"`
+	NumCPU     int    `json:"num_cpu"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	// CPUModel is the "model name" line from /proc/cpuinfo when readable,
+	// empty otherwise.
+	CPUModel string `json:"cpu_model,omitempty"`
+	// GitSHA is the source revision, when the caller could determine it.
+	GitSHA string `json:"git_sha,omitempty"`
+}
+
+// Scenario is one measured scenario: median-of-reps timing plus allocation
+// behaviour per operation.
+type Scenario struct {
+	Name string `json:"name"`
+	// NsPerOp is the median per-operation wall time across reps.
+	NsPerOp float64 `json:"ns_per_op"`
+	// MinNsPerOp / MaxNsPerOp bound the rep-to-rep dispersion; a wide
+	// spread flags a noisy measurement.
+	MinNsPerOp float64 `json:"min_ns_per_op"`
+	MaxNsPerOp float64 `json:"max_ns_per_op"`
+	// AllocsPerOp and BytesPerOp are heap-allocation counts per operation,
+	// measured over a full rep (so they include anything the operation
+	// triggers on other goroutines).
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// OpsPerSec is 1e9/NsPerOp — the throughput reading of the same number.
+	OpsPerSec float64 `json:"ops_per_sec"`
+	// Iters is the calibrated iteration count each rep ran; Reps is how
+	// many timed reps contributed.
+	Iters int `json:"iters"`
+	Reps  int `json:"reps"`
+}
+
+// Options tunes the measurement loop. The zero value selects the full
+// defaults; Quick() selects the CI smoke settings.
+type Options struct {
+	// WarmupIters runs before any timing (JIT-free Go still benefits:
+	// caches, page faults, pool fills). <= 0 selects 1.
+	WarmupIters int
+	// Reps is the number of timed repetitions; the median is reported.
+	// <= 0 selects 5.
+	Reps int
+	// MinTime is the target wall time per rep; iterations are calibrated
+	// up (doubling) until one rep takes at least this long. <= 0 selects
+	// 100ms. A single operation longer than MinTime runs once per rep.
+	MinTime time.Duration
+	// MaxIters caps the calibrated per-rep iteration count. <= 0 selects
+	// 1<<20.
+	MaxIters int
+}
+
+func (o Options) withDefaults() Options {
+	if o.WarmupIters <= 0 {
+		o.WarmupIters = 1
+	}
+	if o.Reps <= 0 {
+		o.Reps = 5
+	}
+	if o.MinTime <= 0 {
+		o.MinTime = 100 * time.Millisecond
+	}
+	if o.MaxIters <= 0 {
+		o.MaxIters = 1 << 20
+	}
+	return o
+}
+
+// Quick returns the -quick settings: fewer reps and a shorter per-rep
+// target, sized for PR smoke runs on shared runners.
+func Quick() Options {
+	return Options{WarmupIters: 1, Reps: 3, MinTime: 25 * time.Millisecond}
+}
+
+// Measure times fn under opts and returns the filled Scenario. fn is the
+// operation under test; it must be self-contained (no per-call setup — do
+// that before calling Measure, or fold its cost knowingly).
+func Measure(name string, opts Options, fn func()) Scenario {
+	opts = opts.withDefaults()
+	for i := 0; i < opts.WarmupIters; i++ {
+		fn()
+	}
+	iters := calibrate(opts, fn)
+
+	// Allocation pass: MemStats deltas over one full rep. Mallocs is a
+	// process-wide counter, so concurrent helpers (worker pools, HTTP
+	// goroutines) are charged to the scenario that drives them — which is
+	// the accounting a throughput scenario wants.
+	var before, after runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&before)
+	for i := 0; i < iters; i++ {
+		fn()
+	}
+	runtime.ReadMemStats(&after)
+	allocs := float64(after.Mallocs-before.Mallocs) / float64(iters)
+	bytes := float64(after.TotalAlloc-before.TotalAlloc) / float64(iters)
+
+	// Timed reps.
+	ns := make([]float64, opts.Reps)
+	for r := 0; r < opts.Reps; r++ {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		ns[r] = float64(time.Since(start).Nanoseconds()) / float64(iters)
+	}
+	med, lo, hi := medianMinMax(ns)
+	s := Scenario{
+		Name:        name,
+		NsPerOp:     med,
+		MinNsPerOp:  lo,
+		MaxNsPerOp:  hi,
+		AllocsPerOp: allocs,
+		BytesPerOp:  bytes,
+		Iters:       iters,
+		Reps:        opts.Reps,
+	}
+	if med > 0 {
+		s.OpsPerSec = 1e9 / med
+	}
+	return s
+}
+
+// calibrate doubles the iteration count until one rep reaches MinTime.
+func calibrate(opts Options, fn func()) int {
+	iters := 1
+	for {
+		start := time.Now()
+		for i := 0; i < iters; i++ {
+			fn()
+		}
+		if time.Since(start) >= opts.MinTime || iters >= opts.MaxIters {
+			return iters
+		}
+		iters *= 2
+	}
+}
+
+// medianMinMax returns the median, minimum, and maximum of vs (len ≥ 1).
+func medianMinMax(vs []float64) (med, lo, hi float64) {
+	sorted := append([]float64(nil), vs...)
+	for i := 1; i < len(sorted); i++ {
+		for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+			sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+		}
+	}
+	n := len(sorted)
+	med = sorted[n/2]
+	if n%2 == 0 {
+		med = (sorted[n/2-1] + sorted[n/2]) / 2
+	}
+	return med, sorted[0], sorted[n-1]
+}
+
+// CaptureEnv fills an Env from the running process. gitSHA is supplied by
+// the caller (empty when unknown) so benchio stays free of exec.
+func CaptureEnv(gitSHA string) Env {
+	return Env{
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		NumCPU:     runtime.NumCPU(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		CPUModel:   cpuModel(),
+		GitSHA:     gitSHA,
+	}
+}
+
+// cpuModel parses the first "model name" line of /proc/cpuinfo; it returns
+// "" on any platform or error, which serializes as an absent field.
+func cpuModel() string {
+	data, err := os.ReadFile("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if name, ok := strings.CutPrefix(line, "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}
+
+// WriteReport marshals r (indented, trailing newline) to path, stamping the
+// schema version.
+func WriteReport(path string, r *Report) error {
+	r.Schema = SchemaVersion
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchio: marshal report: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport reads and validates a BENCH report. It rejects files written
+// under a different schema version.
+func ReadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchio: read report: %w", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("benchio: parse %s: %w", path, err)
+	}
+	if r.Schema != SchemaVersion {
+		return nil, fmt.Errorf("benchio: %s has schema %d, this binary reads %d", path, r.Schema, SchemaVersion)
+	}
+	return &r, nil
+}

@@ -1,0 +1,132 @@
+package benchio
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func writeFile(path, data string) error {
+	return os.WriteFile(path, []byte(data), 0o644)
+}
+
+func TestMeasureFillsScenario(t *testing.T) {
+	var sink float64
+	s := Measure("spin", Options{WarmupIters: 1, Reps: 3, MinTime: time.Millisecond}, func() {
+		for i := 0; i < 1000; i++ {
+			sink += math.Sqrt(float64(i))
+		}
+	})
+	if s.Name != "spin" {
+		t.Fatalf("name = %q", s.Name)
+	}
+	if s.NsPerOp <= 0 {
+		t.Fatalf("NsPerOp = %g, want > 0", s.NsPerOp)
+	}
+	if s.MinNsPerOp > s.NsPerOp || s.NsPerOp > s.MaxNsPerOp {
+		t.Fatalf("ordering broken: min %g median %g max %g", s.MinNsPerOp, s.NsPerOp, s.MaxNsPerOp)
+	}
+	if s.OpsPerSec <= 0 {
+		t.Fatalf("OpsPerSec = %g, want > 0", s.OpsPerSec)
+	}
+	if s.Iters < 1 || s.Reps != 3 {
+		t.Fatalf("iters %d reps %d", s.Iters, s.Reps)
+	}
+	_ = sink
+}
+
+func TestMeasureCountsAllocations(t *testing.T) {
+	var keep [][]byte
+	s := Measure("alloc", Options{WarmupIters: 1, Reps: 2, MinTime: time.Microsecond, MaxIters: 4}, func() {
+		keep = append(keep[:0], make([]byte, 4096))
+	})
+	if s.AllocsPerOp < 0.5 {
+		t.Fatalf("AllocsPerOp = %g, want ≥ 1-ish for an allocating op", s.AllocsPerOp)
+	}
+	if s.BytesPerOp < 1024 {
+		t.Fatalf("BytesPerOp = %g, want ≥ 1024", s.BytesPerOp)
+	}
+}
+
+func TestMedianMinMax(t *testing.T) {
+	med, lo, hi := medianMinMax([]float64{5, 1, 3})
+	if med != 3 || lo != 1 || hi != 5 {
+		t.Fatalf("odd: got %g %g %g", med, lo, hi)
+	}
+	med, lo, hi = medianMinMax([]float64{4, 2})
+	if med != 3 || lo != 2 || hi != 4 {
+		t.Fatalf("even: got %g %g %g", med, lo, hi)
+	}
+}
+
+func TestCaptureEnv(t *testing.T) {
+	env := CaptureEnv("abc123")
+	if env.GoVersion == "" || env.GOOS == "" || env.GOARCH == "" {
+		t.Fatalf("incomplete env: %+v", env)
+	}
+	if env.NumCPU < 1 || env.GOMAXPROCS < 1 {
+		t.Fatalf("bad CPU counts: %+v", env)
+	}
+	if env.GitSHA != "abc123" {
+		t.Fatalf("GitSHA = %q", env.GitSHA)
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	want := &Report{
+		Label:    "test",
+		UnixTime: 1700000000,
+		Env:      CaptureEnv("deadbeef"),
+		Scenarios: []Scenario{
+			{Name: "a", NsPerOp: 120.5, MinNsPerOp: 110, MaxNsPerOp: 130, AllocsPerOp: 0, BytesPerOp: 0, OpsPerSec: 1e9 / 120.5, Iters: 64, Reps: 5},
+			{Name: "b", NsPerOp: 3e6, MinNsPerOp: 2.5e6, MaxNsPerOp: 3.5e6, AllocsPerOp: 12, BytesPerOp: 4096, OpsPerSec: 1e9 / 3e6, Iters: 8, Reps: 5},
+		},
+	}
+	if err := WriteReport(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != SchemaVersion {
+		t.Fatalf("schema = %d, want %d", got.Schema, SchemaVersion)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip mismatch:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+func TestReadReportRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_old.json")
+	r := &Report{Label: "old"}
+	if err := WriteReport(path, r); err != nil {
+		t.Fatal(err)
+	}
+	// Rewrite with a bumped schema number.
+	data := `{"schema": 999, "label": "old", "env": {}, "scenarios": []}`
+	if err := writeFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+}
+
+func TestReadReportRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_bad.json")
+	if err := writeFile(path, "{not json"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadReport(path); err == nil {
+		t.Fatal("want parse error, got nil")
+	}
+	if _, err := ReadReport(filepath.Join(t.TempDir(), "absent.json")); err == nil {
+		t.Fatal("want read error for absent file, got nil")
+	}
+}

@@ -1,0 +1,195 @@
+package benchio
+
+import (
+	"fmt"
+	"io"
+	"math"
+)
+
+// Comparison statuses. A scenario is a regression only when it is slower
+// (or allocates more, under MetricAllocs) beyond the noise threshold;
+// everything that cannot be compared meaningfully is reported as
+// incomparable rather than silently passed or failed.
+const (
+	StatusOK           = "ok"
+	StatusRegression   = "regression"
+	StatusImprovement  = "improvement"
+	StatusIncomparable = "incomparable"
+)
+
+// Metric selects which per-scenario number Compare gates on.
+type Metric string
+
+const (
+	// MetricTime gates on NsPerOp. Only meaningful when both reports come
+	// from the same machine class.
+	MetricTime Metric = "time"
+	// MetricAllocs gates on AllocsPerOp — machine-independent, so it is
+	// the metric CI uses against a baseline captured elsewhere.
+	MetricAllocs Metric = "allocs"
+)
+
+// allocSlack is the absolute allocs/op increase below which an alloc delta
+// is never a regression: it absorbs runtime jitter (GC bookkeeping, HTTP
+// goroutines) without masking a kernel that starts allocating per element.
+const allocSlack = 8.0
+
+// Delta is one scenario's old-vs-new comparison.
+type Delta struct {
+	Name     string  `json:"name"`
+	Old      float64 `json:"old"`
+	New      float64 `json:"new"`
+	Ratio    float64 `json:"ratio"`            // new/old; 0 when incomparable
+	PctDelta float64 `json:"pct_delta"`        // 100*(new-old)/old; 0 when incomparable
+	Status   string  `json:"status"`           // one of the Status* constants
+	Reason   string  `json:"reason,omitempty"` // set when incomparable
+}
+
+// CompareResult is the full old-vs-new report.
+type CompareResult struct {
+	Metric    Metric  `json:"metric"`
+	Threshold float64 `json:"threshold"`
+	Deltas    []Delta `json:"deltas"`
+	// Missing are scenarios present in old but absent from new — a suite
+	// that silently shrank fails the gate.
+	Missing []string `json:"missing,omitempty"`
+	// Added are scenarios new to this run; informational only.
+	Added []string `json:"added,omitempty"`
+}
+
+// Compare evaluates new against old under a relative noise threshold
+// (0.10 = 10%; <= 0 selects 0.10). Guards:
+//
+//   - zero baseline: a ratio against 0 is undefined; the pair is
+//     incomparable unless the metric is allocs, where growth beyond the
+//     absolute slack is still a regression (0 → N allocs is exactly the
+//     failure mode the allocation-free kernels guard against);
+//   - NaN/Inf on either side: incomparable, never a silent pass;
+//   - scenarios missing from new are collected in Missing.
+func Compare(old, new *Report, metric Metric, threshold float64) *CompareResult {
+	if threshold <= 0 {
+		threshold = 0.10
+	}
+	if metric == "" {
+		metric = MetricTime
+	}
+	res := &CompareResult{Metric: metric, Threshold: threshold}
+	newByName := make(map[string]Scenario, len(new.Scenarios))
+	for _, s := range new.Scenarios {
+		newByName[s.Name] = s
+	}
+	oldNames := make(map[string]bool, len(old.Scenarios))
+	for _, os := range old.Scenarios {
+		oldNames[os.Name] = true
+		ns, ok := newByName[os.Name]
+		if !ok {
+			res.Missing = append(res.Missing, os.Name)
+			continue
+		}
+		res.Deltas = append(res.Deltas, compareOne(os, ns, metric, threshold))
+	}
+	for _, s := range new.Scenarios {
+		if !oldNames[s.Name] {
+			res.Added = append(res.Added, s.Name)
+		}
+	}
+	return res
+}
+
+func metricValue(s Scenario, m Metric) float64 {
+	if m == MetricAllocs {
+		return s.AllocsPerOp
+	}
+	return s.NsPerOp
+}
+
+func compareOne(old, new Scenario, metric Metric, threshold float64) Delta {
+	d := Delta{Name: old.Name, Old: metricValue(old, metric), New: metricValue(new, metric)}
+	switch {
+	case math.IsNaN(d.Old) || math.IsInf(d.Old, 0) || math.IsNaN(d.New) || math.IsInf(d.New, 0):
+		d.Status = StatusIncomparable
+		d.Reason = "non-finite measurement"
+		return d
+	case d.Old < 0 || d.New < 0:
+		d.Status = StatusIncomparable
+		d.Reason = "negative measurement"
+		return d
+	case d.Old == 0:
+		if metric == MetricAllocs {
+			// The one comparison that stays meaningful against a zero
+			// baseline: an allocation-free kernel that starts allocating.
+			if d.New > allocSlack {
+				d.Status = StatusRegression
+			} else {
+				d.Status = StatusOK
+			}
+			return d
+		}
+		d.Status = StatusIncomparable
+		d.Reason = "zero baseline"
+		return d
+	}
+	d.Ratio = d.New / d.Old
+	d.PctDelta = 100 * (d.New - d.Old) / d.Old
+	switch {
+	case d.Ratio > 1+threshold && (metric != MetricAllocs || d.New-d.Old > allocSlack):
+		d.Status = StatusRegression
+	case d.Ratio < 1-threshold:
+		d.Status = StatusImprovement
+	default:
+		d.Status = StatusOK
+	}
+	return d
+}
+
+// Regressions returns the deltas flagged as regressions.
+func (c *CompareResult) Regressions() []Delta {
+	var out []Delta
+	for _, d := range c.Deltas {
+		if d.Status == StatusRegression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Failed reports whether the comparison should gate a merge: any
+// regression, or any scenario that disappeared from the suite.
+func (c *CompareResult) Failed() bool {
+	return len(c.Regressions()) > 0 || len(c.Missing) > 0
+}
+
+// WriteText renders the comparison as an aligned human-readable table.
+func (c *CompareResult) WriteText(w io.Writer) error {
+	unit := "ns/op"
+	if c.Metric == MetricAllocs {
+		unit = "allocs/op"
+	}
+	if _, err := fmt.Fprintf(w, "%-40s %14s %14s %9s  %s\n", "scenario", "old "+unit, "new "+unit, "delta", "status"); err != nil {
+		return err
+	}
+	for _, d := range c.Deltas {
+		delta := "n/a"
+		if d.Status != StatusIncomparable && d.Old != 0 {
+			delta = fmt.Sprintf("%+.1f%%", d.PctDelta)
+		}
+		status := d.Status
+		if d.Reason != "" {
+			status += " (" + d.Reason + ")"
+		}
+		if _, err := fmt.Fprintf(w, "%-40s %14.1f %14.1f %9s  %s\n", d.Name, d.Old, d.New, delta, status); err != nil {
+			return err
+		}
+	}
+	for _, name := range c.Missing {
+		if _, err := fmt.Fprintf(w, "%-40s MISSING from new report\n", name); err != nil {
+			return err
+		}
+	}
+	for _, name := range c.Added {
+		if _, err := fmt.Fprintf(w, "%-40s added (no baseline)\n", name); err != nil {
+			return err
+		}
+	}
+	return nil
+}

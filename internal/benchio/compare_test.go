@@ -1,0 +1,174 @@
+package benchio
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func report(scenarios ...Scenario) *Report {
+	return &Report{Label: "t", Scenarios: scenarios}
+}
+
+func deltaFor(t *testing.T, c *CompareResult, name string) Delta {
+	t.Helper()
+	for _, d := range c.Deltas {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no delta for %q", name)
+	return Delta{}
+}
+
+func TestCompareFlagsRegressionBeyondThreshold(t *testing.T) {
+	old := report(Scenario{Name: "k", NsPerOp: 100})
+	new := report(Scenario{Name: "k", NsPerOp: 200}) // 2× slower
+	c := Compare(old, new, MetricTime, 0.40)
+	d := deltaFor(t, c, "k")
+	if d.Status != StatusRegression {
+		t.Fatalf("status = %q, want regression", d.Status)
+	}
+	if !c.Failed() {
+		t.Fatal("Failed() = false for a 2× regression at 40%")
+	}
+	if got := c.Regressions(); len(got) != 1 || got[0].Name != "k" {
+		t.Fatalf("Regressions() = %+v", got)
+	}
+}
+
+func TestCompareWithinThresholdIsOK(t *testing.T) {
+	old := report(Scenario{Name: "k", NsPerOp: 100})
+	new := report(Scenario{Name: "k", NsPerOp: 130})
+	c := Compare(old, new, MetricTime, 0.40)
+	if d := deltaFor(t, c, "k"); d.Status != StatusOK {
+		t.Fatalf("status = %q, want ok", d.Status)
+	}
+	if c.Failed() {
+		t.Fatal("Failed() = true for +30% at 40% threshold")
+	}
+}
+
+func TestCompareFlagsImprovement(t *testing.T) {
+	old := report(Scenario{Name: "k", NsPerOp: 100})
+	new := report(Scenario{Name: "k", NsPerOp: 40})
+	c := Compare(old, new, MetricTime, 0.40)
+	if d := deltaFor(t, c, "k"); d.Status != StatusImprovement {
+		t.Fatalf("status = %q, want improvement", d.Status)
+	}
+	if c.Failed() {
+		t.Fatal("an improvement must not fail the gate")
+	}
+}
+
+func TestCompareZeroBaselineTime(t *testing.T) {
+	old := report(Scenario{Name: "k", NsPerOp: 0})
+	new := report(Scenario{Name: "k", NsPerOp: 50})
+	c := Compare(old, new, MetricTime, 0.40)
+	d := deltaFor(t, c, "k")
+	if d.Status != StatusIncomparable || !strings.Contains(d.Reason, "zero") {
+		t.Fatalf("delta = %+v, want incomparable/zero baseline", d)
+	}
+	if c.Failed() {
+		t.Fatal("incomparable must not fail the gate")
+	}
+}
+
+func TestCompareZeroBaselineAllocsStillGates(t *testing.T) {
+	// An allocation-free kernel that starts allocating is exactly what the
+	// allocs gate exists for — the zero baseline must stay comparable.
+	old := report(Scenario{Name: "kernel", AllocsPerOp: 0})
+	bad := report(Scenario{Name: "kernel", AllocsPerOp: 100})
+	c := Compare(old, bad, MetricAllocs, 0.40)
+	if d := deltaFor(t, c, "kernel"); d.Status != StatusRegression {
+		t.Fatalf("status = %q, want regression for 0→100 allocs", d.Status)
+	}
+	// ...but runtime jitter below the absolute slack stays quiet.
+	ok := report(Scenario{Name: "kernel", AllocsPerOp: 2})
+	c = Compare(old, ok, MetricAllocs, 0.40)
+	if d := deltaFor(t, c, "kernel"); d.Status != StatusOK {
+		t.Fatalf("status = %q, want ok for 0→2 allocs", d.Status)
+	}
+}
+
+func TestCompareAllocSlackAbsorbsSmallAbsoluteGrowth(t *testing.T) {
+	// 4 → 7 allocs is +75% relative but tiny in absolute terms; the slack
+	// keeps it from gating.
+	old := report(Scenario{Name: "s", AllocsPerOp: 4})
+	new := report(Scenario{Name: "s", AllocsPerOp: 7})
+	c := Compare(old, new, MetricAllocs, 0.40)
+	if d := deltaFor(t, c, "s"); d.Status == StatusRegression {
+		t.Fatalf("status = regression for +3 allocs within slack")
+	}
+	// 100 → 200 is beyond both relative threshold and slack.
+	old = report(Scenario{Name: "s", AllocsPerOp: 100})
+	new = report(Scenario{Name: "s", AllocsPerOp: 200})
+	c = Compare(old, new, MetricAllocs, 0.40)
+	if d := deltaFor(t, c, "s"); d.Status != StatusRegression {
+		t.Fatalf("status = %q, want regression for 100→200 allocs", d.Status)
+	}
+}
+
+func TestCompareNaNGuard(t *testing.T) {
+	for _, tc := range []struct{ oldV, newV float64 }{
+		{math.NaN(), 100},
+		{100, math.NaN()},
+		{math.Inf(1), 100},
+		{100, math.Inf(1)},
+		{-5, 100},
+	} {
+		old := report(Scenario{Name: "k", NsPerOp: tc.oldV})
+		new := report(Scenario{Name: "k", NsPerOp: tc.newV})
+		c := Compare(old, new, MetricTime, 0.40)
+		d := deltaFor(t, c, "k")
+		if d.Status != StatusIncomparable {
+			t.Fatalf("old=%g new=%g: status = %q, want incomparable", tc.oldV, tc.newV, d.Status)
+		}
+		if c.Failed() {
+			t.Fatalf("old=%g new=%g: non-finite input failed the gate", tc.oldV, tc.newV)
+		}
+	}
+}
+
+func TestCompareMissingScenarioFails(t *testing.T) {
+	old := report(Scenario{Name: "kept", NsPerOp: 100}, Scenario{Name: "dropped", NsPerOp: 100})
+	new := report(Scenario{Name: "kept", NsPerOp: 100}, Scenario{Name: "brand-new", NsPerOp: 100})
+	c := Compare(old, new, MetricTime, 0.40)
+	if len(c.Missing) != 1 || c.Missing[0] != "dropped" {
+		t.Fatalf("Missing = %v", c.Missing)
+	}
+	if len(c.Added) != 1 || c.Added[0] != "brand-new" {
+		t.Fatalf("Added = %v", c.Added)
+	}
+	if !c.Failed() {
+		t.Fatal("a silently dropped scenario must fail the gate")
+	}
+}
+
+func TestCompareDefaultsThresholdAndMetric(t *testing.T) {
+	old := report(Scenario{Name: "k", NsPerOp: 100})
+	new := report(Scenario{Name: "k", NsPerOp: 115}) // +15% > default 10%
+	c := Compare(old, new, "", 0)
+	if c.Threshold != 0.10 || c.Metric != MetricTime {
+		t.Fatalf("defaults not applied: %+v", c)
+	}
+	if d := deltaFor(t, c, "k"); d.Status != StatusRegression {
+		t.Fatalf("status = %q, want regression at default threshold", d.Status)
+	}
+}
+
+func TestCompareWriteText(t *testing.T) {
+	old := report(Scenario{Name: "a", NsPerOp: 100}, Scenario{Name: "gone", NsPerOp: 1})
+	new := report(Scenario{Name: "a", NsPerOp: 300}, Scenario{Name: "fresh", NsPerOp: 1})
+	c := Compare(old, new, MetricTime, 0.40)
+	var sb strings.Builder
+	if err := c.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"regression", "MISSING", "fresh", "+200.0%"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("text output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+package benchio
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// GoldenSchemaVersion identifies the golden-manifest layout.
+const GoldenSchemaVersion = 1
+
+// GoldenManifest maps experiment names to the SHA-256 of their canonical
+// fixed-seed output. It is checked in (results/golden.json); `raybench
+// golden -check` recomputes every hash and fails on any drift, turning
+// "the experiments are deterministic" from a claim into a mechanical
+// invariant.
+type GoldenManifest struct {
+	Schema  int                    `json:"schema"`
+	Entries map[string]GoldenEntry `json:"entries"`
+}
+
+// GoldenEntry is one experiment's recorded fingerprint.
+type GoldenEntry struct {
+	// SHA256 is the hex digest of the experiment's canonical rendering.
+	SHA256 string `json:"sha256"`
+	// Note describes the fixed configuration the hash was taken under, so
+	// a mismatch can be reproduced by hand.
+	Note string `json:"note,omitempty"`
+}
+
+// HashBytes returns the hex SHA-256 of data.
+func HashBytes(data []byte) string {
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:])
+}
+
+// GoldenDiff is the outcome of checking a freshly computed manifest against
+// the recorded one.
+type GoldenDiff struct {
+	// Mismatched experiments exist in both manifests with different hashes
+	// — a determinism break or an intentional output change.
+	Mismatched []string
+	// Missing experiments are recorded but were not recomputed (an
+	// experiment was dropped without regenerating the manifest).
+	Missing []string
+	// Extra experiments were computed but are not recorded yet.
+	Extra []string
+}
+
+// DiffGolden compares the recorded manifest against freshly computed
+// entries. Names in each field are sorted for stable output.
+func DiffGolden(recorded, computed *GoldenManifest) GoldenDiff {
+	var d GoldenDiff
+	for name, want := range recorded.Entries {
+		got, ok := computed.Entries[name]
+		switch {
+		case !ok:
+			d.Missing = append(d.Missing, name)
+		case got.SHA256 != want.SHA256:
+			d.Mismatched = append(d.Mismatched, name)
+		}
+	}
+	for name := range computed.Entries {
+		if _, ok := recorded.Entries[name]; !ok {
+			d.Extra = append(d.Extra, name)
+		}
+	}
+	sort.Strings(d.Mismatched)
+	sort.Strings(d.Missing)
+	sort.Strings(d.Extra)
+	return d
+}
+
+// Clean reports whether the diff is empty: every recorded experiment was
+// recomputed to the identical hash and nothing appeared or disappeared.
+func (d GoldenDiff) Clean() bool {
+	return len(d.Mismatched) == 0 && len(d.Missing) == 0 && len(d.Extra) == 0
+}
+
+// WriteGolden marshals m (indented, sorted keys via encoding/json's map
+// ordering, trailing newline) to path, stamping the schema version.
+func WriteGolden(path string, m *GoldenManifest) error {
+	m.Schema = GoldenSchemaVersion
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchio: marshal golden manifest: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadGolden reads and validates a golden manifest.
+func ReadGolden(path string) (*GoldenManifest, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("benchio: read golden manifest: %w", err)
+	}
+	var m GoldenManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, fmt.Errorf("benchio: parse %s: %w", path, err)
+	}
+	if m.Schema != GoldenSchemaVersion {
+		return nil, fmt.Errorf("benchio: %s has golden schema %d, this binary reads %d", path, m.Schema, GoldenSchemaVersion)
+	}
+	if m.Entries == nil {
+		m.Entries = map[string]GoldenEntry{}
+	}
+	return &m, nil
+}

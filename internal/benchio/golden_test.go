@@ -1,0 +1,85 @@
+package benchio
+
+import (
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func manifest(entries map[string]string) *GoldenManifest {
+	m := &GoldenManifest{Entries: map[string]GoldenEntry{}}
+	for name, hash := range entries {
+		m.Entries[name] = GoldenEntry{SHA256: hash, Note: "note-" + name}
+	}
+	return m
+}
+
+func TestHashBytesStable(t *testing.T) {
+	a := HashBytes([]byte("figure1 output"))
+	b := HashBytes([]byte("figure1 output"))
+	if a != b {
+		t.Fatalf("same input, different hashes: %s vs %s", a, b)
+	}
+	if len(a) != 64 {
+		t.Fatalf("hex sha256 length = %d, want 64", len(a))
+	}
+	if c := HashBytes([]byte("figure1 output ")); c == a {
+		t.Fatal("different input, same hash")
+	}
+}
+
+func TestGoldenRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "golden.json")
+	want := manifest(map[string]string{"figure1": "aa", "reduction": "bb"})
+	if err := WriteGolden(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadGolden(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Schema != GoldenSchemaVersion {
+		t.Fatalf("schema = %d", got.Schema)
+	}
+	if !reflect.DeepEqual(got.Entries, want.Entries) {
+		t.Fatalf("entries mismatch:\ngot  %+v\nwant %+v", got.Entries, want.Entries)
+	}
+}
+
+func TestGoldenRejectsWrongSchema(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "golden.json")
+	if err := writeFile(path, `{"schema": 42, "entries": {}}`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadGolden(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("want schema error, got %v", err)
+	}
+}
+
+func TestDiffGoldenClean(t *testing.T) {
+	rec := manifest(map[string]string{"a": "h1", "b": "h2"})
+	got := manifest(map[string]string{"a": "h1", "b": "h2"})
+	d := DiffGolden(rec, got)
+	if !d.Clean() {
+		t.Fatalf("diff not clean: %+v", d)
+	}
+}
+
+func TestDiffGoldenMismatch(t *testing.T) {
+	rec := manifest(map[string]string{"a": "h1", "b": "h2", "dropped": "h3"})
+	got := manifest(map[string]string{"a": "h1", "b": "CHANGED", "extra": "h4"})
+	d := DiffGolden(rec, got)
+	if d.Clean() {
+		t.Fatal("diff reported clean")
+	}
+	if !reflect.DeepEqual(d.Mismatched, []string{"b"}) {
+		t.Fatalf("Mismatched = %v", d.Mismatched)
+	}
+	if !reflect.DeepEqual(d.Missing, []string{"dropped"}) {
+		t.Fatalf("Missing = %v", d.Missing)
+	}
+	if !reflect.DeepEqual(d.Extra, []string{"extra"}) {
+		t.Fatalf("Extra = %v", d.Extra)
+	}
+}

@@ -1,0 +1,62 @@
+package server
+
+// Bench hooks: exported helpers for cmd/raybench's rayschedd throughput
+// scenarios. They live in the server package (not the bench binary) so the
+// request bodies are built from the same netio canonical form and request
+// schemas the handlers decode — a schema change breaks the bench at compile
+// time instead of silently measuring 400s.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"rayfade/internal/netio"
+	"rayfade/internal/network"
+	"rayfade/internal/rng"
+)
+
+// BenchTopology returns the canonical netio serialization of a
+// deterministic Figure-1-style random network with n links. The same
+// (links, seed) pair always yields byte-identical output, so cache-hit
+// scenarios really do hit the cache.
+func BenchTopology(links int, seed uint64) ([]byte, error) {
+	cfg := network.Figure1Config()
+	cfg.N = links
+	net, err := network.Random(cfg, rng.New(seed))
+	if err != nil {
+		return nil, fmt.Errorf("server: bench topology: %w", err)
+	}
+	var buf bytes.Buffer
+	if err := netio.Save(&buf, net); err != nil {
+		return nil, fmt.Errorf("server: bench topology: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// BenchEstimateRequest wraps a BenchTopology payload into a complete
+// /v1/estimate request body with the given Monte-Carlo settings.
+func BenchEstimateRequest(topology []byte, samples int, seed uint64) ([]byte, error) {
+	body, err := json.Marshal(estimateRequest{
+		Network: json.RawMessage(topology),
+		Samples: samples,
+		Seed:    seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: bench estimate request: %w", err)
+	}
+	return body, nil
+}
+
+// BenchScheduleRequest wraps a BenchTopology payload into a complete
+// /v1/schedule request body for the given algorithm ("" selects greedy).
+func BenchScheduleRequest(topology []byte, algorithm string) ([]byte, error) {
+	body, err := json.Marshal(scheduleRequest{
+		Network:   json.RawMessage(topology),
+		Algorithm: algorithm,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: bench schedule request: %w", err)
+	}
+	return body, nil
+}
