@@ -3,7 +3,7 @@
 GO ?= go
 LABEL ?= local
 
-.PHONY: all build vet test race bench bench-json bench-compare golden golden-check cover figures results serve fuzz clean
+.PHONY: all build vet test race bench bench-json bench-compare golden golden-check trace-smoke cover figures results serve fuzz clean
 
 all: build vet test
 
@@ -40,9 +40,17 @@ golden:
 	$(GO) run ./cmd/raybench golden -out results/golden.json
 
 # Verify every sim experiment still reproduces its recorded fixed-seed
-# hash; exits non-zero on drift.
+# hash; exits non-zero on drift. The -trace pass re-verifies with a
+# process-wide tracer installed (instrumentation must not perturb outputs).
 golden-check:
 	$(GO) run ./cmd/raybench golden -check
+	$(GO) run ./cmd/raybench golden -check -trace
+
+# Capture and validate a Chrome trace of a small Figure-1 run (open the
+# resulting JSON at https://ui.perfetto.dev).
+trace-smoke:
+	$(GO) run ./cmd/raysched figure1 -networks 3 -links 12 -txseeds 2 -fadeseeds 2 -points 4 -trace /tmp/fig1.trace.json > /dev/null
+	$(GO) run ./cmd/raybench tracecheck -nested /tmp/fig1.trace.json
 
 cover:
 	$(GO) test -cover ./...

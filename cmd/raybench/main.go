@@ -30,11 +30,13 @@ import (
 	"os"
 	"os/exec"
 	"os/signal"
+	"path/filepath"
 	"strings"
 	"syscall"
 	"time"
 
 	"rayfade/internal/benchio"
+	"rayfade/internal/obs"
 	"rayfade/internal/version"
 )
 
@@ -53,6 +55,8 @@ func main() {
 		err = cmdCompare(os.Args[2:])
 	case "golden":
 		err = cmdGolden(ctx, os.Args[2:])
+	case "tracecheck":
+		err = cmdTraceCheck(os.Args[2:])
 	case "version", "-version", "--version":
 		fmt.Printf("raybench %s\n", version.Version)
 	case "-h", "--help", "help":
@@ -76,11 +80,12 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: raybench <subcommand> [flags]
 
 subcommands:
-  run      measure the benchmark suite and write BENCH_<label>.json
-  compare  compare two BENCH files; exit 1 on regressions beyond the threshold
-  golden   hash fixed-seed experiment outputs; -check verifies the manifest
-  version  print the release version
-  help     print this message
+  run         measure the benchmark suite and write BENCH_<label>.json
+  compare     compare two BENCH files; exit 1 on regressions beyond the threshold
+  golden      hash fixed-seed experiment outputs; -check verifies the manifest
+  tracecheck  validate Chrome trace-event JSON files (-nested requires span nesting)
+  version     print the release version
+  help        print this message
 
 run 'raybench <subcommand> -h' for flags; unknown subcommands exit 2`)
 }
@@ -105,8 +110,14 @@ func cmdRun(ctx context.Context, args []string) error {
 	minTime := fs.Duration("mintime", 0, "per-rep wall-time target (0 = mode default)")
 	filter := fs.String("filter", "", "only run scenarios whose name contains this substring")
 	list := fs.Bool("list", false, "list scenario names and exit")
+	traceDir := fs.String("trace-dir", "", "after each scenario, run a traced pass and write one Chrome trace here")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *traceDir != "" {
+		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
+			return err
+		}
 	}
 	suite := scenarios()
 	if *list {
@@ -154,6 +165,12 @@ func cmdRun(ctx context.Context, args []string) error {
 		start := time.Now()
 		s := benchio.Measure(sc.name, opts, op)
 		cleanup()
+		if *traceDir != "" {
+			s, err = tracePass(sc, s, *traceDir)
+			if err != nil {
+				return fmt.Errorf("trace %s: %w", sc.name, err)
+			}
+		}
 		report.Scenarios = append(report.Scenarios, s)
 		fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/op %10.1f allocs/op %10.0f ops/s  (%s)\n",
 			sc.name, s.NsPerOp, s.AllocsPerOp, s.OpsPerSec, time.Since(start).Round(time.Millisecond))
@@ -169,6 +186,76 @@ func cmdRun(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d scenarios to %s\n", len(report.Scenarios), path)
+	return nil
+}
+
+// tracePass re-runs one scenario with the process-default tracer installed,
+// writes the captured spans as a Chrome trace into dir, and fills the
+// report's span-count and overhead fields. It rebuilds the scenario from
+// setup so the traced pass sees the same steady state the measurement saw.
+func tracePass(sc scenario, s benchio.Scenario, dir string) (benchio.Scenario, error) {
+	op, cleanup, err := sc.setup()
+	if err != nil {
+		return s, err
+	}
+	defer cleanup()
+	iters := s.Iters
+	if iters > 64 {
+		iters = 64 // the overhead estimate converges quickly; don't re-run a long suite
+	}
+	if iters < 1 {
+		iters = 1
+	}
+	tr := obs.NewTracer(1 << 16)
+	obs.SetDefault(tr)
+	defer obs.SetDefault(nil)
+	op() // warmup: pools and caches refill before the timed window
+	warmupSpans := tr.Recorded()
+	start := time.Now()
+	for i := 0; i < iters; i++ {
+		op()
+	}
+	elapsed := time.Since(start)
+	if err := tr.WriteTraceFile(filepath.Join(dir, traceFileName(sc.name))); err != nil {
+		return s, err
+	}
+	s.TraceSpansPerOp = float64(tr.Recorded()-warmupSpans) / float64(iters)
+	tracedNs := float64(elapsed.Nanoseconds()) / float64(iters)
+	if over := tracedNs - s.NsPerOp; over > 0 {
+		s.TraceOverheadNsPerOp = over
+	}
+	return s, nil
+}
+
+// traceFileName maps a scenario name onto a flat file name.
+func traceFileName(name string) string {
+	r := strings.NewReplacer("/", "_", "=", "-", " ", "_")
+	return r.Replace(name) + ".trace.json"
+}
+
+func cmdTraceCheck(args []string) error {
+	fs := flag.NewFlagSet("tracecheck", flag.ExitOnError)
+	nested := fs.Bool("nested", false, "additionally require at least one nested span pair")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() == 0 {
+		return fmt.Errorf("tracecheck wants one or more trace files")
+	}
+	for _, path := range fs.Args() {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return err
+		}
+		stats, err := obs.ValidateTrace(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		if *nested && !stats.Nested {
+			return fmt.Errorf("%s: valid but contains no nested spans", path)
+		}
+		fmt.Printf("%s: %d events on %d tracks (nested=%v)\n", path, stats.Events, stats.Tracks, stats.Nested)
+	}
 	return nil
 }
 
@@ -218,6 +305,13 @@ func cmdCompare(args []string) error {
 	if err := res.WriteText(os.Stdout); err != nil {
 		return err
 	}
+	// Traced runs carry per-scenario span overhead; surface it (from either
+	// side) so the cost of instrumentation is reviewed alongside the deltas.
+	for _, rep := range []*benchio.Report{oldRep, newRep} {
+		if err := benchio.WriteTraceOverhead(os.Stdout, rep); err != nil {
+			return err
+		}
+	}
 	if res.Failed() {
 		return fmt.Errorf("%d regression(s) beyond ±%.0f%% and/or %d missing scenario(s)",
 			len(res.Regressions()), *threshold*100, len(res.Missing))
@@ -231,8 +325,13 @@ func cmdGolden(ctx context.Context, args []string) error {
 	path := fs.String("path", "results/golden.json", "manifest path")
 	check := fs.Bool("check", false, "verify against the recorded manifest instead of writing")
 	out := fs.String("out", "", "write the recomputed manifest here (default: -path)")
+	withTrace := fs.Bool("trace", false, "recompute with tracing enabled (the hashes must not move — instrumentation cannot perturb outputs)")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *withTrace {
+		obs.SetDefault(obs.NewTracer(1 << 16))
+		defer obs.SetDefault(nil)
 	}
 	computed, err := computeGolden(ctx)
 	if err != nil {

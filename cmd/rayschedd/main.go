@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"rayfade/internal/obs"
 	"rayfade/internal/server"
 	"rayfade/internal/version"
 )
@@ -45,6 +46,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		maxLinks    = fs.Int("max-links", 5000, "largest accepted topology (links)")
 		maxBody     = fs.Int64("max-body", 16<<20, "largest accepted request body (bytes)")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		logLevel    = fs.String("log-level", "info", "access-log level: debug, info, warn, error, or off")
+		debug       = fs.Bool("debug", false, "mount /debug/obs and /debug/pprof/ (exposes runtime internals)")
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -64,6 +67,18 @@ func run(args []string, stdout, stderr *os.File) int {
 	if cache == 0 {
 		cache = -1 // flag semantics: 0 disables; Config uses negative for that
 	}
+	// The daemon logs JSON records (one access-log line per request) so the
+	// output is machine-collectable; "off" keeps the pre-observability
+	// silence.
+	log := obs.Discard()
+	if *logLevel != "off" {
+		lvl, err := obs.ParseLevel(*logLevel)
+		if err != nil {
+			fmt.Fprintf(stderr, "rayschedd: %v\n", err)
+			return 2
+		}
+		log = obs.NewLogger(stderr, lvl, true)
+	}
 	srv := server.New(server.Config{
 		Workers:        *workers,
 		QueueSize:      *queue,
@@ -72,6 +87,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		MaxBodyBytes:   *maxBody,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
+		Log:            log,
+		Debug:          *debug,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

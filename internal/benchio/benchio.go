@@ -78,6 +78,13 @@ type Scenario struct {
 	// many timed reps contributed.
 	Iters int `json:"iters"`
 	Reps  int `json:"reps"`
+	// TraceSpansPerOp and TraceOverheadNsPerOp are filled only by traced
+	// runs (raybench run -trace-dir): the spans one operation emits and the
+	// extra per-op wall time the enabled tracer cost against the untraced
+	// measurement of the same run. Zero (omitted) on plain runs, so the
+	// schema stays at version 1.
+	TraceSpansPerOp      float64 `json:"trace_spans_per_op,omitempty"`
+	TraceOverheadNsPerOp float64 `json:"trace_overhead_ns_per_op,omitempty"`
 }
 
 // Options tunes the measurement loop. The zero value selects the full

@@ -193,3 +193,29 @@ func (c *CompareResult) WriteText(w io.Writer) error {
 	}
 	return nil
 }
+
+// WriteTraceOverhead renders the span-overhead readings a traced run
+// (raybench run -trace-dir) recorded into its report: per scenario, the
+// spans emitted per operation and what the enabled tracer cost on top of
+// the untraced measurement. Writes nothing when the report carries no
+// trace data.
+func WriteTraceOverhead(w io.Writer, r *Report) error {
+	header := false
+	for _, s := range r.Scenarios {
+		if s.TraceSpansPerOp == 0 && s.TraceOverheadNsPerOp == 0 {
+			continue
+		}
+		if !header {
+			if _, err := fmt.Fprintf(w, "\ntracing overhead (%s):\n%-40s %14s %18s\n",
+				r.Label, "scenario", "spans/op", "overhead ns/op"); err != nil {
+				return err
+			}
+			header = true
+		}
+		if _, err := fmt.Fprintf(w, "%-40s %14.1f %18.0f\n",
+			s.Name, s.TraceSpansPerOp, s.TraceOverheadNsPerOp); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -30,6 +30,7 @@ import (
 	"sort"
 
 	"rayfade/internal/network"
+	"rayfade/internal/obs"
 	"rayfade/internal/sinr"
 	"rayfade/internal/utility"
 )
@@ -73,7 +74,15 @@ func GreedyAffectanceCtx(ctx context.Context, m *network.Matrix, beta, tau float
 	if beta <= 0 {
 		panic(fmt.Sprintf("capacity: threshold β = %g must be positive", beta))
 	}
+	// Detached: greedy scans run concurrently under experiment fan-outs and
+	// per-request in the daemon, so each gets its own trace track.
+	ctx, sp := obs.StartDetached(ctx, "capacity.greedy_affectance")
+	sp.SetAttr("candidates", len(order))
 	var selected []int
+	defer func() {
+		sp.SetAttr("selected", len(selected))
+		sp.End()
+	}()
 	// load[i] = total uncapped affectance currently imposed on accepted
 	// link i by the other accepted links.
 	load := make(map[int]float64, len(order))
@@ -292,8 +301,14 @@ func PowerControlGreedy(net *network.Network, beta float64) PowerControlResult {
 // the solution so far together with ctx.Err() when cancelled.
 func PowerControlGreedyCtx(ctx context.Context, net *network.Network, beta float64) (PowerControlResult, error) {
 	order := LengthOrder(net)
+	ctx, sp := obs.StartDetached(ctx, "capacity.power_control_greedy")
+	sp.SetAttr("candidates", len(order))
 	var set []int
 	var powers []float64
+	defer func() {
+		sp.SetAttr("selected", len(set))
+		sp.End()
+	}()
 	for _, cand := range order {
 		if err := ctx.Err(); err != nil {
 			return PowerControlResult{Set: set, Powers: powers}, err

@@ -27,6 +27,7 @@ import (
 
 	"rayfade/internal/fading"
 	"rayfade/internal/network"
+	"rayfade/internal/obs"
 	"rayfade/internal/rng"
 	"rayfade/internal/sinr"
 	"rayfade/internal/transform"
@@ -175,6 +176,13 @@ func RepeatedCapacity(m *network.Matrix, beta float64, capFn CapacityFunc) ([][]
 // when cancelled — no partial schedule, since a truncated schedule would
 // violate the serve-every-link contract.
 func RepeatedCapacityCtx(ctx context.Context, m *network.Matrix, beta float64, capFn CapacityFunc) ([][]int, error) {
+	ctx, sp := obs.StartDetached(ctx, "latency.repeated_capacity")
+	sp.SetAttr("links", m.N)
+	var slots [][]int
+	defer func() {
+		sp.SetAttr("slots", len(slots))
+		sp.End()
+	}()
 	remaining := make([]int, 0, m.N)
 	for i := 0; i < m.N; i++ {
 		if m.G[i][i] < beta*m.Noise || m.G[i][i] == 0 {
@@ -182,7 +190,6 @@ func RepeatedCapacityCtx(ctx context.Context, m *network.Matrix, beta float64, c
 		}
 		remaining = append(remaining, i)
 	}
-	var slots [][]int
 	for len(remaining) > 0 {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -293,6 +300,13 @@ func RepeatUntilDoneCtx(ctx context.Context, m *network.Matrix, base [][]int, be
 	if maxRounds <= 0 {
 		panic(fmt.Sprintf("latency: maxRounds = %d must be positive", maxRounds))
 	}
+	ctx, sp := obs.StartDetached(ctx, "latency.repeat_until_done")
+	sp.SetAttr("model", model.Name())
+	defer func() {
+		sp.SetAttr("slots", totalSlots)
+		sp.SetAttr("done", done)
+		sp.End()
+	}()
 	expanded := transform.ExpandSchedule(base, repeats)
 	served := make([]bool, m.N)
 	needed := m.N
@@ -376,9 +390,16 @@ func AlohaCtx(ctx context.Context, m *network.Matrix, beta float64, cfg AlohaCon
 	if maxSlots <= 0 {
 		maxSlots = 64 * m.N
 	}
+	ctx, sp := obs.StartDetached(ctx, "latency.aloha")
+	sp.SetAttr("model", model.Name())
+	res := AlohaResult{}
+	defer func() {
+		sp.SetAttr("slots", res.Slots)
+		sp.SetAttr("done", res.Done)
+		sp.End()
+	}()
 	served := make([]bool, m.N)
 	needed := m.N
-	res := AlohaResult{}
 	active := make([]bool, m.N)
 	for res.Slots < maxSlots && needed > 0 {
 		if err := ctx.Err(); err != nil {

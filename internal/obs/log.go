@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"context"
+	crand "crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"log/slog"
+	"sync/atomic"
+)
+
+// Structured logging: thin helpers over log/slog so the four binaries and
+// the daemon share one configuration surface (a -log-level flag) and one
+// identifier scheme. Run IDs tag one CLI invocation or experiment; request
+// IDs tag one daemon request. Both come from crypto/rand, never from the
+// experiment RNG streams — logging must not perturb deterministic outputs.
+
+// ParseLevel maps the -log-level flag values onto slog levels.
+func ParseLevel(s string) (slog.Level, error) {
+	switch s {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q (want debug, info, warn, or error)", s)
+	}
+}
+
+// NewLogger returns a slog.Logger writing to w at the given level. asJSON
+// selects the JSON handler (the daemon's machine-parseable access logs);
+// text is the CLI default.
+func NewLogger(w io.Writer, level slog.Level, asJSON bool) *slog.Logger {
+	opts := &slog.HandlerOptions{Level: level}
+	if asJSON {
+		return slog.New(slog.NewJSONHandler(w, opts))
+	}
+	return slog.New(slog.NewTextHandler(w, opts))
+}
+
+// discardLogger drops everything — the default for instrumented packages
+// until a binary installs a real logger.
+var discardLogger = slog.New(slog.NewTextHandler(io.Discard, &slog.HandlerOptions{Level: slog.Level(127)}))
+
+// Discard returns a logger that drops every record.
+func Discard() *slog.Logger { return discardLogger }
+
+// NewRunID returns a fresh 8-byte hex identifier for one run (one CLI
+// invocation, one experiment, one daemon boot).
+func NewRunID() string {
+	var b [8]byte
+	if _, err := crand.Read(b[:]); err != nil {
+		// crypto/rand failing is unheard of; degrade to the request
+		// sequence rather than aborting an experiment over a log tag.
+		return fmt.Sprintf("seq-%d", reqSeq.Add(1))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+type runIDKey struct{}
+
+// WithRunID returns a ctx tagged with the run identifier.
+func WithRunID(ctx context.Context, id string) context.Context {
+	return context.WithValue(ctx, runIDKey{}, id)
+}
+
+// RunID returns the run identifier carried by ctx, or "".
+func RunID(ctx context.Context) string {
+	id, _ := ctx.Value(runIDKey{}).(string)
+	return id
+}
+
+// bootID distinguishes request IDs across daemon restarts; reqSeq orders
+// them within one boot.
+var (
+	bootID = NewRunID()[:6]
+	reqSeq atomic.Uint64
+)
+
+// NewRequestID returns a process-unique request identifier, cheap enough
+// to mint per HTTP request.
+func NewRequestID() string {
+	return fmt.Sprintf("%s-%06d", bootID, reqSeq.Add(1))
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// The exporter emits the Chrome trace-event JSON object format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU),
+// the lingua franca Perfetto, chrome://tracing, and speedscope all read.
+// Each span becomes one complete ("X") event; timestamps are microseconds
+// from the tracer epoch. The track id (tid) is the span's root ancestor, so
+// concurrent replications land on separate tracks and their phase spans
+// nest within them by timestamp containment.
+
+// traceEvent is one Chrome trace-event entry.
+type traceEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`  // microseconds
+	Dur  float64        `json:"dur"` // microseconds
+	PID  int            `json:"pid"`
+	TID  uint64         `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// traceDoc is the exported JSON object.
+type traceDoc struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteTrace renders every retained span as Chrome trace-event JSON.
+// Nil-safe: a nil tracer writes an empty (but valid) trace.
+func (t *Tracer) WriteTrace(w io.Writer) error {
+	spans := t.Snapshot()
+	sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start < spans[b].Start })
+	doc := traceDoc{TraceEvents: make([]traceEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
+	for _, s := range spans {
+		ev := traceEvent{
+			Name: s.Name,
+			Cat:  "rayfade",
+			Ph:   "X",
+			TS:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			PID:  1,
+			TID:  s.Root,
+		}
+		if len(s.Attrs) > 0 {
+			ev.Args = make(map[string]any, len(s.Attrs)+1)
+			for _, a := range s.Attrs {
+				ev.Args[a.Key] = a.Value
+			}
+		}
+		if s.Parent != 0 {
+			if ev.Args == nil {
+				ev.Args = make(map[string]any, 1)
+			}
+			ev.Args["parent_span"] = s.Parent
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(doc)
+}
+
+// WriteTraceFile writes the trace to path (0644, truncating).
+func (t *Tracer) WriteTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: create trace file: %w", err)
+	}
+	if err := t.WriteTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: write trace: %w", err)
+	}
+	return f.Close()
+}
+
+// TraceStats summarizes a validated trace document.
+type TraceStats struct {
+	// Events is the number of trace events in the document.
+	Events int
+	// Tracks is the number of distinct (pid, tid) pairs.
+	Tracks int
+	// Nested reports whether at least one complete event lies strictly
+	// within another on the same track — the signature of hierarchical
+	// phase spans (as opposed to a flat event list).
+	Nested bool
+}
+
+// ValidateTrace checks data against the Chrome trace-event object format:
+// a JSON object with a traceEvents array whose entries each carry a
+// non-empty name and phase, non-negative microsecond timestamps, and pid
+// and tid fields; complete ("X") events additionally need a non-negative
+// duration. It returns summary stats on success. The strictness matches
+// what Perfetto's importer requires, so a passing file is openable.
+func ValidateTrace(data []byte) (TraceStats, error) {
+	var doc struct {
+		TraceEvents []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return TraceStats{}, fmt.Errorf("obs: trace is not a JSON object: %w", err)
+	}
+	if doc.TraceEvents == nil {
+		return TraceStats{}, fmt.Errorf("obs: trace has no traceEvents array")
+	}
+	type interval struct {
+		track    string
+		from, to float64
+	}
+	intervals := make([]interval, 0, len(doc.TraceEvents))
+	tracks := map[string]bool{}
+	for i, ev := range doc.TraceEvents {
+		var name, ph string
+		if err := requireString(ev, "name", &name); err != nil {
+			return TraceStats{}, fmt.Errorf("obs: event %d: %w", i, err)
+		}
+		if err := requireString(ev, "ph", &ph); err != nil {
+			return TraceStats{}, fmt.Errorf("obs: event %d (%s): %w", i, name, err)
+		}
+		// Metadata events ("M") carry no timing; everything else must.
+		if ph == "M" {
+			continue
+		}
+		var ts float64
+		if err := requireNumber(ev, "ts", &ts); err != nil {
+			return TraceStats{}, fmt.Errorf("obs: event %d (%s): %w", i, name, err)
+		}
+		if ts < 0 {
+			return TraceStats{}, fmt.Errorf("obs: event %d (%s): negative ts %g", i, name, ts)
+		}
+		for _, field := range []string{"pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				return TraceStats{}, fmt.Errorf("obs: event %d (%s): missing %q", i, name, field)
+			}
+		}
+		track := string(ev["pid"]) + "/" + string(ev["tid"])
+		tracks[track] = true
+		if ph == "X" {
+			var dur float64
+			if err := requireNumber(ev, "dur", &dur); err != nil {
+				return TraceStats{}, fmt.Errorf("obs: event %d (%s): %w", i, name, err)
+			}
+			if dur < 0 {
+				return TraceStats{}, fmt.Errorf("obs: event %d (%s): negative dur %g", i, name, dur)
+			}
+			intervals = append(intervals, interval{track: track, from: ts, to: ts + dur})
+		}
+	}
+	stats := TraceStats{Events: len(doc.TraceEvents), Tracks: len(tracks)}
+	// Nesting: some complete event strictly contained in a longer one on
+	// the same track. Quadratic, but traces are ring-bounded.
+	for a := range intervals {
+		for b := range intervals {
+			if a == b || intervals[a].track != intervals[b].track {
+				continue
+			}
+			if intervals[b].from >= intervals[a].from && intervals[b].to <= intervals[a].to &&
+				(intervals[b].to-intervals[b].from) < (intervals[a].to-intervals[a].from) {
+				stats.Nested = true
+				return stats, nil
+			}
+		}
+	}
+	return stats, nil
+}
+
+func requireString(ev map[string]json.RawMessage, field string, dst *string) error {
+	raw, ok := ev[field]
+	if !ok {
+		return fmt.Errorf("missing %q", field)
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return fmt.Errorf("%q is not a string: %w", field, err)
+	}
+	if *dst == "" {
+		return fmt.Errorf("%q is empty", field)
+	}
+	return nil
+}
+
+func requireNumber(ev map[string]json.RawMessage, field string, dst *float64) error {
+	raw, ok := ev[field]
+	if !ok {
+		return fmt.Errorf("missing %q", field)
+	}
+	if err := json.Unmarshal(raw, dst); err != nil {
+		return fmt.Errorf("%q is not a number: %w", field, err)
+	}
+	return nil
+}

@@ -2,10 +2,14 @@ package progress
 
 import (
 	"bytes"
+	"io"
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"rayfade/internal/obs"
 )
 
 func TestCounters(t *testing.T) {
@@ -125,6 +129,90 @@ func TestCountString(t *testing.T) {
 		if got := countString(n); got != want {
 			t.Errorf("countString(%d) = %q, want %q", n, got, want)
 		}
+	}
+}
+
+// TestETAMath pins the clock so the ETA arithmetic is checked exactly:
+// after 30s of elapsed time with 3 of 12 replications done, the mean is
+// 10s/replication and 9 remain, so the ETA is 90s.
+func TestETAMath(t *testing.T) {
+	tr := New("exp", nil)
+	base := tr.start
+	tr.now = func() time.Time { return base.Add(30 * time.Second) }
+	tr.AddTotal(12)
+	for i := 0; i < 3; i++ {
+		tr.ReplicationDone()
+	}
+	s := tr.Snapshot()
+	if s.Elapsed != 30*time.Second {
+		t.Fatalf("elapsed = %v, want 30s", s.Elapsed)
+	}
+	if s.ETA != 90*time.Second {
+		t.Fatalf("ETA = %v, want 90s", s.ETA)
+	}
+	// All replications done: nothing remains, ETA must drop to zero.
+	for i := 0; i < 9; i++ {
+		tr.ReplicationDone()
+	}
+	if eta := tr.Snapshot().ETA; eta != 0 {
+		t.Fatalf("ETA = %v after completion, want 0", eta)
+	}
+}
+
+// TestStopLeavesNoGoroutine asserts the reporter goroutine is gone once
+// Stop returns — Stop must join it, not orphan it.
+func TestStopLeavesNoGoroutine(t *testing.T) {
+	before := runtime.NumGoroutine()
+	for i := 0; i < 5; i++ {
+		tr := New("exp", io.Discard)
+		tr.Start(time.Millisecond)
+		time.Sleep(3 * time.Millisecond)
+		tr.Stop()
+	}
+	// Give the runtime a moment to retire any stragglers before counting.
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("goroutines grew from %d to %d after Stop", before, runtime.NumGoroutine())
+}
+
+// TestStartAfterStopRestarts covers the stop→start lifecycle: a tracker can
+// be restarted and still joins cleanly.
+func TestStartAfterStopRestarts(t *testing.T) {
+	var buf safeBuffer
+	tr := New("exp", &buf)
+	tr.Start(time.Hour)
+	tr.Stop()
+	tr.Start(time.Hour)
+	tr.Stop()
+	if got := strings.Count(buf.String(), "exp:"); got != 2 {
+		t.Fatalf("expected 2 final lines, got %d:\n%s", got, buf.String())
+	}
+}
+
+// TestRegistryView asserts the counters are real obs.Registry entries, not
+// private copies: a snapshot of the shared registry sees every tick.
+func TestRegistryView(t *testing.T) {
+	reg := obs.NewRegistry()
+	tr := NewWithRegistry("exp", nil, reg)
+	tr.AddTotal(7)
+	tr.ReplicationDone()
+	tr.ReplicationDone()
+	tr.AddRealizations(500)
+	snap := reg.Snapshot()
+	if snap[CounterTotal] != 7 || snap[CounterDone] != 2 || snap[CounterRealizations] != 500 {
+		t.Fatalf("registry snapshot %v", snap)
+	}
+	if tr.Registry() != reg {
+		t.Fatal("Registry() accessor does not return the backing registry")
+	}
+	var nilTr *Tracker
+	if nilTr.Registry() != nil {
+		t.Fatal("nil tracker must report a nil registry")
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"sort"
 	"sync"
 
+	"rayfade/internal/obs"
 	"rayfade/internal/stats"
 )
 
@@ -21,20 +22,28 @@ const (
 	latBuckets = 32
 )
 
-// endpointStats aggregates one endpoint's counters.
+// endpointStats aggregates one endpoint's counters. The request tallies are
+// obs.Registry counters (named "requests.<endpoint>.<code>"), so the same
+// numbers the Prometheus page renders are visible to /debug/obs — the
+// Prometheus text is one view over the shared registry, not a private copy.
 type endpointStats struct {
-	byCode  map[int]uint64
-	latency *stats.Histogram
-	seconds float64 // total observed, for the _sum series
-	count   uint64
+	byCode    map[int]*obs.Counter
+	latency   *stats.Histogram
+	seconds   float64 // total observed, for the _sum series
+	count     uint64
+	queueWait *stats.Histogram
+	waitSec   float64
+	waitCount uint64
 }
 
-// Metrics is the daemon's observability registry: per-endpoint request and
-// status-code counts, log-spaced latency histograms, and gauges sampled at
-// render time (queue depth, in-flight jobs, cache occupancy). It renders in
-// the Prometheus text exposition format using only the stdlib.
+// Metrics is the daemon's observability surface: per-endpoint request and
+// status-code counts, log-spaced latency and queue-wait histograms, and
+// gauges sampled at render time (queue depth, in-flight jobs, cache
+// occupancy). It renders in the Prometheus text exposition format using only
+// the stdlib.
 type Metrics struct {
 	mu        sync.Mutex
+	reg       *obs.Registry
 	endpoints map[string]*endpointStats
 
 	// gauges are sampled lazily at render time so Metrics has no coupling
@@ -42,13 +51,27 @@ type Metrics struct {
 	gauges map[string]func() float64
 }
 
-// NewMetrics returns an empty registry.
+// NewMetrics returns an empty registry backed by a private obs.Registry.
 func NewMetrics() *Metrics {
+	return NewMetricsWithRegistry(obs.NewRegistry())
+}
+
+// NewMetricsWithRegistry returns a Metrics whose counters live in reg, so
+// other views of the registry (the /debug/obs endpoint) see the same
+// tallies. A nil reg behaves like NewMetrics.
+func NewMetricsWithRegistry(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	return &Metrics{
+		reg:       reg,
 		endpoints: make(map[string]*endpointStats),
 		gauges:    make(map[string]func() float64),
 	}
 }
+
+// Registry exposes the backing obs.Registry.
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // Gauge registers a named gauge sampled every time the registry renders.
 func (m *Metrics) Gauge(name string, sample func() float64) {
@@ -57,33 +80,67 @@ func (m *Metrics) Gauge(name string, sample func() float64) {
 	m.gauges[name] = sample
 }
 
+// stats returns (creating on first use) the per-endpoint aggregate. Callers
+// hold m.mu.
+func (m *Metrics) stats(endpoint string) *endpointStats {
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		es = &endpointStats{
+			byCode:    make(map[int]*obs.Counter),
+			latency:   stats.NewHistogram(latLogLo, latLogHi, latBuckets),
+			queueWait: stats.NewHistogram(latLogLo, latLogHi, latBuckets),
+		}
+		m.endpoints[endpoint] = es
+	}
+	return es
+}
+
+// clampLog maps a positive duration in seconds into the histogram's
+// log10 domain.
+func clampLog(seconds float64) float64 {
+	lg := math.Log10(seconds)
+	if lg < latLogLo {
+		lg = latLogLo
+	}
+	if lg > latLogHi {
+		lg = latLogHi
+	}
+	return lg
+}
+
 // Observe records one completed request: its endpoint, HTTP status, and
 // wall-clock duration in seconds.
 func (m *Metrics) Observe(endpoint string, code int, seconds float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	es, ok := m.endpoints[endpoint]
+	es := m.stats(endpoint)
+	c, ok := es.byCode[code]
 	if !ok {
-		es = &endpointStats{
-			byCode:  make(map[int]uint64),
-			latency: stats.NewHistogram(latLogLo, latLogHi, latBuckets),
-		}
-		m.endpoints[endpoint] = es
+		c = m.reg.Counter(fmt.Sprintf("requests.%s.%d", endpoint, code))
+		es.byCode[code] = c
 	}
-	es.byCode[code]++
+	c.Add(1)
 	es.count++
 	if seconds > 0 && !math.IsNaN(seconds) {
 		es.seconds += seconds
 		// Clamp into the histogram's domain so Under/Over stay empty and
 		// every observation lands in a renderable bucket.
-		lg := math.Log10(seconds)
-		if lg < latLogLo {
-			lg = latLogLo
-		}
-		if lg > latLogHi {
-			lg = latLogHi
-		}
-		es.latency.Add(lg)
+		es.latency.Add(clampLog(seconds))
+	}
+}
+
+// ObserveQueueWait records how long one request waited for a pool worker.
+func (m *Metrics) ObserveQueueWait(endpoint string, seconds float64) {
+	if seconds < 0 || math.IsNaN(seconds) {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es := m.stats(endpoint)
+	es.waitSec += seconds
+	es.waitCount++
+	if seconds > 0 {
+		es.queueWait.Add(clampLog(seconds))
 	}
 }
 
@@ -117,7 +174,7 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 		}
 		sort.Ints(codes)
 		for _, c := range codes {
-			if err := p("rayschedd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, es.byCode[c]); err != nil {
+			if err := p("rayschedd_requests_total{endpoint=%q,code=\"%d\"} %d\n", ep, c, es.byCode[c].Load()); err != nil {
 				return n, err
 			}
 		}
@@ -146,6 +203,43 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 		if err := p("rayschedd_request_duration_seconds_count{endpoint=%q} %d\n", ep, es.count); err != nil {
+			return n, err
+		}
+	}
+
+	// Queue-wait series appear only for endpoints that have recorded at
+	// least one wait, so deployments that never exercise the pool (and the
+	// seed golden outputs) render unchanged.
+	headerDone := false
+	for _, ep := range eps {
+		es := m.endpoints[ep]
+		if es.waitCount == 0 {
+			continue
+		}
+		if !headerDone {
+			if err := p("# HELP rayschedd_queue_wait_seconds Time requests spent queued for a pool worker (log-spaced buckets).\n# TYPE rayschedd_queue_wait_seconds histogram\n"); err != nil {
+				return n, err
+			}
+			headerDone = true
+		}
+		h := es.queueWait
+		width := (latLogHi - latLogLo) / float64(latBuckets)
+		cum := uint64(h.Under)
+		for i, c := range h.Counts {
+			cum += uint64(c)
+			le := math.Pow(10, latLogLo+float64(i+1)*width)
+			if err := p("rayschedd_queue_wait_seconds_bucket{endpoint=%q,le=\"%.3g\"} %d\n", ep, le, cum); err != nil {
+				return n, err
+			}
+		}
+		cum += uint64(h.Over)
+		if err := p("rayschedd_queue_wait_seconds_bucket{endpoint=%q,le=\"+Inf\"} %d\n", ep, cum); err != nil {
+			return n, err
+		}
+		if err := p("rayschedd_queue_wait_seconds_sum{endpoint=%q} %g\n", ep, es.waitSec); err != nil {
+			return n, err
+		}
+		if err := p("rayschedd_queue_wait_seconds_count{endpoint=%q} %d\n", ep, es.waitCount); err != nil {
 			return n, err
 		}
 	}

@@ -7,6 +7,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // ErrQueueFull is returned by Pool.Do when the admission queue has no room
@@ -27,6 +28,8 @@ type job struct {
 	fn   func(ctx context.Context)
 	done chan struct{}
 	err  error
+	enq  time.Time     // when the job entered the queue
+	wait time.Duration // queue wait, stamped when a worker picks it up
 }
 
 // Pool is a bounded worker pool: a fixed set of goroutines draining a
@@ -72,6 +75,7 @@ func (p *Pool) worker() {
 // would burn a worker on unobservable output).
 func (p *Pool) run(j *job) {
 	defer close(j.done)
+	j.wait = time.Since(j.enq)
 	if err := j.ctx.Err(); err != nil {
 		j.err = err
 		return
@@ -93,21 +97,30 @@ func (p *Pool) run(j *job) {
 // panicked. A nil return means fn ran to completion (fn observes ctx itself
 // for mid-computation cancellation — the compute layers poll it).
 func (p *Pool) Do(ctx context.Context, fn func(ctx context.Context)) error {
-	j := &job{ctx: ctx, fn: fn, done: make(chan struct{})}
+	_, err := p.DoTimed(ctx, fn)
+	return err
+}
+
+// DoTimed is Do, additionally reporting how long the job waited in the
+// queue before a worker picked it up — the admission-control latency the
+// access log and queue-wait metrics surface. The wait is zero when the job
+// was rejected at the door (queue full, pool closed).
+func (p *Pool) DoTimed(ctx context.Context, fn func(ctx context.Context)) (time.Duration, error) {
+	j := &job{ctx: ctx, fn: fn, done: make(chan struct{}), enq: time.Now()}
 	p.mu.RLock()
 	if p.closed {
 		p.mu.RUnlock()
-		return ErrPoolClosed
+		return 0, ErrPoolClosed
 	}
 	select {
 	case p.jobs <- j:
 		p.mu.RUnlock()
 	default:
 		p.mu.RUnlock()
-		return ErrQueueFull
+		return 0, ErrQueueFull
 	}
 	<-j.done
-	return j.err
+	return j.wait, j.err
 }
 
 // QueueDepth returns the number of jobs waiting for a worker.

@@ -8,7 +8,9 @@
 //	POST /v1/reduce     non-fading→Rayleigh reduction (Algorithm 1 / Theorem 2)
 //	POST /v1/estimate   Monte-Carlo Rayleigh success estimation (exact form alongside)
 //	GET  /healthz       liveness + version
-//	GET  /metrics       Prometheus text: requests, latency, cache, queue
+//	GET  /metrics       Prometheus text: requests, latency, queue wait, cache, queue
+//	GET  /debug/obs     (Config.Debug) counter snapshot + recent request spans
+//	GET  /debug/pprof/  (Config.Debug) net/http/pprof
 //
 // Production shape, stdlib only:
 //
@@ -22,9 +24,14 @@
 //   - Caching. Responses are cached in an LRU keyed by a canonical hash of
 //     (endpoint, defaults-applied params, canonical topology); repeated
 //     identical queries replay byte-identical bodies from memory.
-//   - Observability. Per-endpoint request/status counts and log-spaced
-//     latency histograms (reusing stats.Histogram), cache hit/miss, queue
-//     depth and in-flight gauges, rendered at /metrics.
+//   - Observability. Per-endpoint request/status counts (obs.Registry
+//     counters, shared with /debug/obs), log-spaced latency and queue-wait
+//     histograms (reusing stats.Histogram), cache hit/miss, queue depth and
+//     in-flight gauges, rendered at /metrics; a request ID per response
+//     (X-Request-ID) threaded through ctx, one structured access-log record
+//     per request, and an optional detached span per request. /healthz and
+//     /metrics record under the shared "meta" label so probe traffic cannot
+//     skew the compute histograms.
 //
 // Graceful shutdown is the caller's two-phase affair: http.Server.Shutdown
 // stops intake and drains in-flight HTTP, then Server.Close drains the pool.
@@ -34,9 +41,12 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"time"
 
+	"rayfade/internal/obs"
 	"rayfade/internal/version"
 )
 
@@ -63,6 +73,20 @@ type Config struct {
 	// MaxSamples caps Monte-Carlo sample counts on /v1/reduce and
 	// /v1/estimate; <= 0 selects 1_000_000.
 	MaxSamples int
+	// Log receives one structured access-log record per request (request id,
+	// endpoint, status, duration, queue wait). Nil discards — the zero-value
+	// Config stays silent, matching pre-observability behavior.
+	Log *slog.Logger
+	// Debug mounts the runtime-introspection surface: GET /debug/obs (counter
+	// snapshot + recent spans) and the net/http/pprof handlers under
+	// /debug/pprof/. Off by default: these leak operational detail and must
+	// be opted into.
+	Debug bool
+	// Tracer, when non-nil, records one detached span per request. When nil
+	// and Debug is set, the server creates a private ring tracer so
+	// /debug/obs has spans to show; when nil without Debug, request spans
+	// cost nothing.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
@@ -97,18 +121,30 @@ type Server struct {
 	cache   *Cache
 	metrics *Metrics
 	mux     *http.ServeMux
+	log     *slog.Logger
+	tracer  *obs.Tracer
 }
 
 // New builds a ready-to-serve Server. The caller owns its lifecycle: serve
 // s with net/http, then Close to drain the pool.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
+	log := cfg.Log
+	if log == nil {
+		log = obs.Discard()
+	}
+	tracer := cfg.Tracer
+	if tracer == nil && cfg.Debug {
+		tracer = obs.NewTracer(0)
+	}
 	s := &Server{
 		cfg:     cfg,
 		pool:    NewPool(cfg.Workers, cfg.QueueSize),
 		cache:   NewCache(cfg.CacheSize),
 		metrics: NewMetrics(),
 		mux:     http.NewServeMux(),
+		log:     log,
+		tracer:  tracer,
 	}
 	s.metrics.Gauge("rayschedd_queue_depth", func() float64 { return float64(s.pool.QueueDepth()) })
 	s.metrics.Gauge("rayschedd_in_flight", func() float64 { return float64(s.pool.InFlight()) })
@@ -127,8 +163,20 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/latency", s.instrumented("/v1/latency", s.handleLatency))
 	s.mux.HandleFunc("POST /v1/reduce", s.instrumented("/v1/reduce", s.handleReduce))
 	s.mux.HandleFunc("POST /v1/estimate", s.instrumented("/v1/estimate", s.handleEstimate))
-	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	// The operational endpoints share one "meta" label: they must not be
+	// invisible to the access log and request counters (a scraper hammering
+	// /metrics is load too), but folding them into per-path labels would let
+	// probe traffic drown the compute endpoints' latency histograms.
+	s.mux.HandleFunc("GET /healthz", s.instrumented("meta", s.handleHealthz))
+	s.mux.HandleFunc("GET /metrics", s.instrumented("meta", s.handleMetrics))
+	if cfg.Debug {
+		s.mux.HandleFunc("GET /debug/obs", s.instrumented("meta", s.handleDebugObs))
+		s.mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return s
 }
 
@@ -139,10 +187,14 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // calls fail. Call it after http.Server.Shutdown has returned.
 func (s *Server) Close() { s.pool.Close() }
 
-// statusWriter captures the status code for metrics.
+// statusWriter captures the status code for metrics, plus the pool
+// admission facts serve() stashes for the access log and queue-wait
+// histogram (pooled is false for cache hits and door rejections).
 type statusWriter struct {
 	http.ResponseWriter
-	status int
+	status    int
+	queueWait time.Duration
+	pooled    bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
@@ -150,14 +202,46 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
-// instrumented wraps a handler with request counting and latency
-// observation under the given endpoint label.
+// instrumented wraps a handler with the per-request observability chain:
+// it mints a request id (echoed as X-Request-ID and threaded through the
+// request context for the compute layers' log records), opens a detached
+// span when a tracer is installed, and on completion records the request
+// counters, the latency and queue-wait histograms, and one access-log line.
 func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		reqID := obs.NewRequestID()
+		w.Header().Set("X-Request-ID", reqID)
+		ctx := obs.WithRunID(r.Context(), reqID)
+		var sp *obs.Span
+		if s.tracer != nil {
+			ctx = obs.WithTracer(ctx, s.tracer)
+			// Detached: concurrent requests are siblings and must not share
+			// a Chrome track; the scheduler spans they start nest under this
+			// one via the span carried in ctx.
+			ctx, sp = obs.StartDetached(ctx, "http."+endpoint)
+			sp.SetAttr("request_id", reqID)
+			sp.SetAttr("method", r.Method)
+		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
-		h(sw, r)
-		s.metrics.Observe(endpoint, sw.status, time.Since(start).Seconds())
+		h(sw, r.WithContext(ctx))
+		elapsed := time.Since(start)
+		if sp != nil {
+			sp.SetAttr("status", sw.status)
+			sp.End()
+		}
+		s.metrics.Observe(endpoint, sw.status, elapsed.Seconds())
+		if sw.pooled {
+			s.metrics.ObserveQueueWait(endpoint, sw.queueWait.Seconds())
+		}
+		s.log.Info("request",
+			"request_id", reqID,
+			"endpoint", endpoint,
+			"method", r.Method,
+			"status", sw.status,
+			"duration", elapsed.Round(time.Microsecond).String(),
+			"queue_wait", sw.queueWait.Round(time.Microsecond).String(),
+		)
 	}
 }
 
@@ -224,7 +308,7 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, endpoint string, 
 		body       []byte
 		computeErr error
 	)
-	err := s.pool.Do(ctx, func(ctx context.Context) {
+	wait, err := s.pool.DoTimed(ctx, func(ctx context.Context) {
 		resp, cerr := compute(ctx)
 		if cerr != nil {
 			computeErr = cerr
@@ -237,6 +321,10 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, endpoint string, 
 		}
 		body = b
 	})
+	if sw, ok := w.(*statusWriter); ok {
+		sw.queueWait = wait
+		sw.pooled = !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrPoolClosed)
+	}
 	if err != nil {
 		writeError(w, err)
 		return
@@ -434,6 +522,29 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.WriteTo(w)
+}
+
+// debugObsResponse is the GET /debug/obs body: the counter registry behind
+// /metrics plus the tracer's retained spans — the JSON face of the same
+// state the Prometheus page renders as text.
+type debugObsResponse struct {
+	Counters      map[string]int64 `json:"counters"`
+	SpansRecorded uint64           `json:"spans_recorded"`
+	RecentSpans   []obs.SpanRecord `json:"recent_spans"`
+}
+
+func (s *Server) handleDebugObs(w http.ResponseWriter, r *http.Request) {
+	resp := debugObsResponse{
+		Counters:      s.metrics.Registry().Snapshot(),
+		SpansRecorded: s.tracer.Recorded(),
+		RecentSpans:   s.tracer.Snapshot(),
+	}
+	body, err := json.MarshalIndent(resp, "", " ")
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 // ---- shared validation -----------------------------------------------------

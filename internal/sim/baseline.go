@@ -76,6 +76,9 @@ func RunBaseline(cfg BaselineConfig) *BaselineResult {
 // nil and ctx.Err() when the context is cancelled before the sweep finishes.
 func RunBaselineCtx(ctx context.Context, cfg BaselineConfig) (*BaselineResult, error) {
 	cfg = cfg.withDefaults()
+	ctx, finish := beginExperiment(ctx, "sim.baseline",
+		"networks", cfg.Networks, "links", cfg.Links, "seed", cfg.Seed)
+	defer finish()
 	type netResult struct {
 		gSize, gValid, gRay   float64
 		sSize, sRay           float64

@@ -79,6 +79,9 @@ func RunFadingSweep(cfg FadingSweepConfig) *FadingSweepResult {
 // and ctx.Err() when the context is cancelled before the run completes.
 func RunFadingSweepCtx(ctx context.Context, cfg FadingSweepConfig) (*FadingSweepResult, error) {
 	cfg = cfg.withDefaults()
+	ctx, finish := beginExperiment(ctx, "sim.fadingsweep",
+		"networks", cfg.Networks, "links", cfg.Links, "shapes", len(cfg.Shapes), "seed", cfg.Seed)
+	defer finish()
 	type netResult struct {
 		perShape *stats.Series
 		nf       stats.Running

@@ -7,6 +7,7 @@ import (
 
 	"rayfade/internal/fading"
 	"rayfade/internal/network"
+	"rayfade/internal/obs"
 	"rayfade/internal/rng"
 	"rayfade/internal/stats"
 )
@@ -147,6 +148,10 @@ func RunFigure1(cfg Figure1Config) *Figure1Result {
 // and ctx.Err() when the context is cancelled before the run completes.
 func RunFigure1Ctx(ctx context.Context, cfg Figure1Config) (*Figure1Result, error) {
 	cfg = cfg.withDefaults()
+	ctx, finish := beginExperiment(ctx, "sim.figure1",
+		"networks", cfg.Networks, "links", cfg.Links, "topology", cfg.Topology,
+		"transmit_seeds", cfg.TransmitSeeds, "fading_seeds", cfg.FadingSeeds, "seed", cfg.Seed)
+	defer finish()
 	// Fixed order: iterating a map here would consume the replication's
 	// RNG stream in a map-iteration-dependent order and break determinism.
 	powers := []struct {
@@ -202,6 +207,7 @@ func RunFigure1Ctx(ctx context.Context, cfg Figure1Config) (*Figure1Result, erro
 		return nil, perErr
 	}
 
+	_, mergeSpan := obs.Start(ctx, "merge")
 	res := &Figure1Result{Probs: cfg.Probs, Config: cfg, Curves: map[string]*stats.Series{
 		CurveUniformNonFading: stats.NewSeries(cfg.Probs),
 		CurveUniformRayleigh:  stats.NewSeries(cfg.Probs),
@@ -213,6 +219,7 @@ func RunFigure1Ctx(ctx context.Context, cfg Figure1Config) (*Figure1Result, erro
 			res.Curves[key].Merge(series)
 		}
 	}
+	mergeSpan.End()
 	return res, nil
 }
 

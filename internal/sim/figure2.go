@@ -6,6 +6,7 @@ import (
 
 	"rayfade/internal/capacity"
 	"rayfade/internal/network"
+	"rayfade/internal/obs"
 	"rayfade/internal/regret"
 	"rayfade/internal/rng"
 	"rayfade/internal/stats"
@@ -122,6 +123,10 @@ func RunFigure2(cfg Figure2Config) *Figure2Result {
 // and ctx.Err() when the context is cancelled before the run completes.
 func RunFigure2Ctx(ctx context.Context, cfg Figure2Config) (*Figure2Result, error) {
 	cfg = cfg.withDefaults()
+	ctx, finish := beginExperiment(ctx, "sim.figure2",
+		"networks", cfg.Networks, "links", cfg.Links, "rounds", cfg.Rounds,
+		"learner", cfg.Learner, "seed", cfg.Seed)
+	defer finish()
 	rounds := make([]float64, cfg.Rounds)
 	for t := range rounds {
 		rounds[t] = float64(t + 1)
@@ -182,6 +187,8 @@ func RunFigure2Ctx(ctx context.Context, cfg Figure2Config) (*Figure2Result, erro
 		return nil, perErr
 	}
 
+	_, mergeSpan := obs.Start(ctx, "merge")
+	defer mergeSpan.End()
 	res := &Figure2Result{
 		Rounds:    rounds,
 		NonFading: stats.NewSeries(rounds),

@@ -74,6 +74,9 @@ func RunLatency(cfg LatencyConfig) *LatencyResult {
 // and ctx.Err() when the context is cancelled before the run completes.
 func RunLatencyCtx(ctx context.Context, cfg LatencyConfig) (*LatencyResult, error) {
 	cfg = cfg.withDefaults()
+	ctx, finish := beginExperiment(ctx, "sim.latency",
+		"networks", cfg.Networks, "links", cfg.Links, "trials", cfg.Trials, "seed", cfg.Seed)
+	defer finish()
 	type netResult struct {
 		schedLen, schedRL    stats.Running
 		alohaNF, alohaRL     stats.Running

@@ -1,0 +1,131 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"log/slog"
+	"reflect"
+	"testing"
+
+	"rayfade/internal/obs"
+)
+
+// smallFigure1 is a fast fixed-seed workload for instrumentation tests.
+func smallFigure1() Figure1Config {
+	return Figure1Config{
+		Networks:      3,
+		Links:         12,
+		TransmitSeeds: 2,
+		FadingSeeds:   2,
+		Probs:         []float64{0.2, 0.6},
+		Seed:          11,
+		Workers:       2,
+	}
+}
+
+// TestTracingDoesNotPerturbResults is the determinism contract of the
+// observability layer: a fixed-seed experiment must produce identical
+// results with tracing and logging fully enabled, because obs never draws
+// from the experiment RNG streams.
+func TestTracingDoesNotPerturbResults(t *testing.T) {
+	plain, err := RunFigure1Ctx(context.Background(), smallFigure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	tr := obs.NewTracer(0)
+	var logBuf bytes.Buffer
+	SetLogger(obs.NewLogger(&logBuf, slog.LevelDebug, false))
+	defer SetLogger(nil)
+	ctx := obs.WithTracer(context.Background(), tr)
+	traced, err := RunFigure1Ctx(ctx, smallFigure1())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, name := range plain.CurveNames() {
+		if !reflect.DeepEqual(plain.Curves[name], traced.Curves[name]) {
+			t.Fatalf("curve %q differs with tracing enabled", name)
+		}
+	}
+	if tr.Recorded() == 0 {
+		t.Fatal("tracer recorded no spans")
+	}
+	if !bytes.Contains(logBuf.Bytes(), []byte("experiment start")) ||
+		!bytes.Contains(logBuf.Bytes(), []byte("experiment done")) {
+		t.Fatalf("lifecycle log records missing:\n%s", logBuf.String())
+	}
+}
+
+// TestExperimentSpanHierarchy checks the span shape one -trace run emits:
+// a root experiment span, phase spans nested under it, and one detached
+// replication span per network.
+func TestExperimentSpanHierarchy(t *testing.T) {
+	tr := obs.NewTracer(0)
+	ctx := obs.WithTracer(context.Background(), tr)
+	cfg := smallFigure1()
+	if _, err := RunFigure1Ctx(ctx, cfg); err != nil {
+		t.Fatal(err)
+	}
+	spans := tr.Snapshot()
+	byName := map[string][]obs.SpanRecord{}
+	for _, s := range spans {
+		byName[s.Name] = append(byName[s.Name], s)
+	}
+	roots := byName["sim.figure1"]
+	if len(roots) != 1 {
+		t.Fatalf("want 1 root span, got %d (%v)", len(roots), byName)
+	}
+	root := roots[0]
+	if root.Parent != 0 {
+		t.Fatalf("experiment span has parent %d", root.Parent)
+	}
+	fans := byName["parallel.fanout"]
+	if len(fans) != 1 || fans[0].Parent != root.ID {
+		t.Fatalf("fanout span not nested under experiment root: %+v", fans)
+	}
+	if len(byName["merge"]) != 1 || byName["merge"][0].Parent != root.ID {
+		t.Fatalf("merge phase not nested under experiment root: %+v", byName["merge"])
+	}
+	reps := byName["replication"]
+	if len(reps) != cfg.Networks {
+		t.Fatalf("want %d replication spans, got %d", cfg.Networks, len(reps))
+	}
+	for _, r := range reps {
+		if r.Parent != fans[0].ID {
+			t.Fatalf("replication span parent = %d, want fanout %d", r.Parent, fans[0].ID)
+		}
+		if r.Root != r.ID {
+			t.Fatalf("replication span must be detached (own track), got root %d", r.Root)
+		}
+	}
+
+	// The exported trace must validate and show nesting.
+	var buf bytes.Buffer
+	if err := tr.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := obs.ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("trace invalid: %v", err)
+	}
+	if !stats.Nested {
+		t.Fatal("trace shows no nested phase spans")
+	}
+	if stats.Tracks < 2 {
+		t.Fatalf("want ≥2 tracks (root + replications), got %d", stats.Tracks)
+	}
+}
+
+// TestDefaultTracerCoversNonCtxEntrypoints: the Run* convenience wrappers go
+// through context.Background(), which must still pick up the process-default
+// tracer (raybench's -trace-dir depends on this).
+func TestDefaultTracerCoversNonCtxEntrypoints(t *testing.T) {
+	tr := obs.NewTracer(0)
+	obs.SetDefault(tr)
+	defer obs.SetDefault(nil)
+	RunFigure1(smallFigure1())
+	if tr.Recorded() == 0 {
+		t.Fatal("default tracer saw no spans from non-ctx entrypoint")
+	}
+}

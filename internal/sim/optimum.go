@@ -92,6 +92,9 @@ func RunOptimum(cfg OptimumConfig) *OptimumResult {
 // and ctx.Err() when the context is cancelled before the run completes.
 func RunOptimumCtx(ctx context.Context, cfg OptimumConfig) (*OptimumResult, error) {
 	cfg = cfg.withDefaults()
+	ctx, finish := beginExperiment(ctx, "sim.optimum",
+		"networks", cfg.Networks, "links", cfg.Links, "restarts", cfg.Search.Restarts, "seed", cfg.Seed)
+	defer finish()
 	type netResult struct {
 		greedy, local, rayleigh float64
 	}

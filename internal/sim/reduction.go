@@ -6,6 +6,7 @@ import (
 
 	"rayfade/internal/fading"
 	"rayfade/internal/network"
+	"rayfade/internal/obs"
 	"rayfade/internal/rng"
 	"rayfade/internal/stats"
 	"rayfade/internal/transform"
@@ -82,15 +83,21 @@ func RunReduction(cfg ReductionConfig) *ReductionResult {
 // nil and ctx.Err() when the context is cancelled before the sweep finishes.
 func RunReductionCtx(ctx context.Context, cfg ReductionConfig) (*ReductionResult, error) {
 	cfg = cfg.withDefaults()
+	ctx, finish := beginExperiment(ctx, "sim.reduction",
+		"sizes", len(cfg.Sizes), "networks_per", cfg.NetworksPer, "seed", cfg.Seed)
+	defer finish()
 	res := &ReductionResult{Config: cfg}
 	base := rng.New(cfg.Seed)
 	for _, n := range cfg.Sizes {
+		// Each network size is one sequential phase of the sweep.
+		sizeCtx, sizeSpan := obs.Start(ctx, "size")
+		sizeSpan.SetAttr("n", n)
 		point := ReductionPoint{
 			N:       n,
 			Levels:  stats.TowerLevels(n),
 			LogStar: stats.LogStar(float64(n)),
 		}
-		ratios, perErr := ParallelCtx(ctx, cfg.NetworksPer, cfg.Workers, base, func(rep int, src *rng.Source) float64 {
+		ratios, perErr := ParallelCtx(sizeCtx, cfg.NetworksPer, cfg.Workers, base, func(rep int, src *rng.Source) float64 {
 			netCfg := network.Figure1Config()
 			netCfg.N = n
 			net, err := network.Random(netCfg, src)
@@ -111,12 +118,14 @@ func RunReductionCtx(ctx context.Context, cfg ReductionConfig) (*ReductionResult
 			return rayleigh / best.Value.Mean
 		})
 		if perErr != nil {
+			sizeSpan.End()
 			return nil, perErr
 		}
 		for _, r := range ratios {
 			point.Ratio.Add(r)
 		}
 		res.Points = append(res.Points, point)
+		sizeSpan.End()
 	}
 	return res, nil
 }

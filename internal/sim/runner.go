@@ -14,10 +14,12 @@ package sim
 import (
 	"context"
 	"fmt"
+	"log/slog"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"rayfade/internal/obs"
 	"rayfade/internal/progress"
 	"rayfade/internal/rng"
 )
@@ -40,6 +42,32 @@ func SetProgress(t *progress.Tracker) {
 // methods are nil-safe, so call sites never branch.
 func activeTracker() *progress.Tracker {
 	return tracker.Load()
+}
+
+// logger, when set, receives experiment lifecycle records (start, finish,
+// parameters, elapsed time). Like the tracker it is process-global: one CLI
+// invocation runs one experiment, and the atomic pointer keeps worker
+// goroutines race-free against SetLogger.
+var logger atomic.Pointer[slog.Logger]
+
+// SetLogger installs (or, with nil, removes) the structured logger observed
+// by the experiment harness. The CLIs' -log-level flag is its intended
+// caller.
+func SetLogger(l *slog.Logger) {
+	if l == nil {
+		logger.Store(obs.Discard())
+		return
+	}
+	logger.Store(l)
+}
+
+// activeLogger returns the installed logger, defaulting to a discard logger
+// so call sites log unconditionally.
+func activeLogger() *slog.Logger {
+	if l := logger.Load(); l != nil {
+		return l
+	}
+	return obs.Discard()
 }
 
 // Parallel runs fn for reps replications on up to workers goroutines and
@@ -82,13 +110,27 @@ func ParallelCtx[T any](ctx context.Context, reps, workers int, base *rng.Source
 	}
 	t := activeTracker()
 	t.AddTotal(reps)
+	// The fan-out is one phase span; each replication is a detached span (its
+	// own trace track — concurrent siblings must not share a track, see
+	// obs.StartDetached). When no tracer is installed all of this is free.
+	ctx, fanSpan := obs.Start(ctx, "parallel.fanout")
+	fanSpan.SetAttr("reps", reps)
+	fanSpan.SetAttr("workers", workers)
+	defer fanSpan.End()
+	runOne := func(r int, src *rng.Source) T {
+		_, sp := obs.StartDetached(ctx, "replication")
+		sp.SetAttr("rep", r)
+		out := fn(r, src)
+		sp.End()
+		return out
+	}
 	srcs := base.SplitN(reps)
 	if workers <= 1 {
 		for r := 0; r < reps; r++ {
 			if err := ctx.Err(); err != nil {
 				return results, err
 			}
-			results[r] = fn(r, srcs[r])
+			results[r] = runOne(r, srcs[r])
 			t.ReplicationDone()
 		}
 		return results, nil
@@ -100,7 +142,7 @@ func ParallelCtx[T any](ctx context.Context, reps, workers int, base *rng.Source
 		go func() {
 			defer wg.Done()
 			for r := range jobs {
-				results[r] = fn(r, srcs[r])
+				results[r] = runOne(r, srcs[r])
 				t.ReplicationDone()
 			}
 		}()

@@ -98,6 +98,9 @@ func RunShannon(cfg ShannonConfig) *ShannonResult {
 // and ctx.Err() when the context is cancelled before the run completes.
 func RunShannonCtx(ctx context.Context, cfg ShannonConfig) (*ShannonResult, error) {
 	cfg = cfg.withDefaults()
+	ctx, finish := beginExperiment(ctx, "sim.shannon",
+		"networks", cfg.Networks, "links", cfg.Links, "exact", cfg.Exact, "seed", cfg.Seed)
+	defer finish()
 	us := utility.Uniform(utility.Shannon{})
 	type netResult struct {
 		nf, rl, exact *stats.Series

@@ -6,6 +6,7 @@ import (
 
 	"rayfade/internal/fading"
 	"rayfade/internal/network"
+	"rayfade/internal/obs"
 	"rayfade/internal/rng"
 	"rayfade/internal/stats"
 )
@@ -98,6 +99,9 @@ func RunTopology(cfg TopologyConfig) *TopologyResult {
 // and ctx.Err() when the context is cancelled before the run completes.
 func RunTopologyCtx(ctx context.Context, cfg TopologyConfig) (*TopologyResult, error) {
 	cfg = cfg.withDefaults()
+	ctx, finish := beginExperiment(ctx, "sim.topology",
+		"grid_side", cfg.GridSide, "random_nets", cfg.RandomNets, "seed", cfg.Seed)
+	defer finish()
 	res := &TopologyResult{Probs: cfg.Probs, Config: cfg, Curves: map[string]*stats.Series{
 		CurveGridNonFading:   stats.NewSeries(cfg.Probs),
 		CurveGridRayleigh:    stats.NewSeries(cfg.Probs),
@@ -106,6 +110,7 @@ func RunTopologyCtx(ctx context.Context, cfg TopologyConfig) (*TopologyResult, e
 	}}
 
 	// Grid: one deterministic topology, averaged over transmit draws.
+	_, gridSpan := obs.Start(ctx, "grid")
 	grid, err := network.Grid(cfg.GridSide, cfg.GridSide, cfg.Spacing, cfg.LinkLen,
 		cfg.Alpha, cfg.Noise, network.UniformPower{P: cfg.Power})
 	if err != nil {
@@ -115,8 +120,11 @@ func RunTopologyCtx(ctx context.Context, cfg TopologyConfig) (*TopologyResult, e
 	gridSrc := rng.New(cfg.Seed ^ 0x9e3779b9)
 	observeCurves(res.Curves[CurveGridNonFading], res.Curves[CurveGridRayleigh],
 		gm, cfg, gridSrc)
+	gridSpan.End()
 
 	// Random: density-matched — same number of links on the same area.
+	ctx, randomSpan := obs.Start(ctx, "random")
+	defer randomSpan.End()
 	n := cfg.GridSide * cfg.GridSide
 	area := float64(cfg.GridSide) * cfg.Spacing
 	type netSeries struct{ nf, rl *stats.Series }

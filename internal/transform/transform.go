@@ -34,6 +34,7 @@ import (
 
 	"rayfade/internal/fading"
 	"rayfade/internal/network"
+	"rayfade/internal/obs"
 	"rayfade/internal/rng"
 	"rayfade/internal/sinr"
 	"rayfade/internal/utility"
@@ -249,6 +250,10 @@ func BestStepCtx(ctx context.Context, m *network.Matrix, steps []Step, us []util
 	if samplesPerStep <= 0 {
 		panic(fmt.Sprintf("transform: %d samples per step", samplesPerStep))
 	}
+	ctx, sp := obs.StartDetached(ctx, "transform.best_step")
+	sp.SetAttr("steps", len(steps))
+	sp.SetAttr("samples_per_step", samplesPerStep)
+	defer sp.End()
 	all = make([]StepValue, len(steps))
 	active := make([]bool, m.N)
 	for k, step := range steps {
