@@ -3,7 +3,7 @@
 GO ?= go
 LABEL ?= local
 
-.PHONY: all build vet test race bench bench-json bench-compare golden golden-check trace-smoke cover figures results serve fuzz clean
+.PHONY: all build vet test race bench bench-json bench-compare golden golden-check trace-smoke chaos cover figures results serve fuzz clean
 
 all: build vet test
 
@@ -51,6 +51,23 @@ golden-check:
 trace-smoke:
 	$(GO) run ./cmd/raysched figure1 -networks 3 -links 12 -txseeds 2 -fadeseeds 2 -points 4 -trace /tmp/fig1.trace.json > /dev/null
 	$(GO) run ./cmd/raybench tracecheck -nested /tmp/fig1.trace.json
+
+# Chaos smoke: the fault-injection and crash-recovery suites under the race
+# detector (injector determinism, daemon survival under the fault matrix,
+# kill/resume byte identity, mid-replication cancellation), then a checkpoint
+# resume exercised through the real CLI with replication faults armed.
+chaos:
+	$(GO) test -race ./internal/faults/ ./internal/fsio/ ./internal/client/ \
+		-run . -count 1
+	$(GO) test -race ./internal/sim/ -run 'Checkpoint|Cancel' -count 1
+	$(GO) test -race ./internal/server/ -run 'Fault|Shed|PoolClose' -count 1
+	$(GO) test -race ./cmd/raysched/ -run 'SIGKILL' -count 1
+	rm -f /tmp/chaos-fig1.ckpt
+	$(GO) run ./cmd/raysched figure1 -networks 4 -links 16 -txseeds 2 -fadeseeds 2 -points 3 \
+		-checkpoint /tmp/chaos-fig1.ckpt -faults "seed=1,sim.replication=delay:0.5:10ms" > /dev/null
+	$(GO) run ./cmd/raysched figure1 -networks 4 -links 16 -txseeds 2 -fadeseeds 2 -points 3 \
+		-checkpoint /tmp/chaos-fig1.ckpt > /dev/null
+	rm -f /tmp/chaos-fig1.ckpt
 
 cover:
 	$(GO) test -cover ./...

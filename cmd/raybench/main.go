@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"rayfade/internal/benchio"
+	"rayfade/internal/faults"
 	"rayfade/internal/obs"
 	"rayfade/internal/version"
 )
@@ -111,6 +112,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	filter := fs.String("filter", "", "only run scenarios whose name contains this substring")
 	list := fs.Bool("list", false, "list scenario names and exit")
 	traceDir := fs.String("trace-dir", "", "after each scenario, run a traced pass and write one Chrome trace here")
+	faultSpec := fs.String("faults", "", `inject deterministic faults during the run, e.g. "seed=1,pool.job=error:0.05"`)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -118,6 +120,15 @@ func cmdRun(ctx context.Context, args []string) error {
 		if err := os.MkdirAll(*traceDir, 0o755); err != nil {
 			return err
 		}
+	}
+	if *faultSpec != "" {
+		inj, err := faults.Parse(*faultSpec)
+		if err != nil {
+			return err
+		}
+		faults.SetDefault(inj)
+		defer faults.SetDefault(nil)
+		fmt.Fprintf(os.Stderr, "raybench: fault injection armed: %s\n", *faultSpec)
 	}
 	suite := scenarios()
 	if *list {

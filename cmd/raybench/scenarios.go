@@ -7,14 +7,18 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"net/http"
 	"net/http/httptest"
 	"sync/atomic"
+	"time"
 
 	"rayfade/internal/capacity"
+	"rayfade/internal/client"
 	"rayfade/internal/fading"
+	"rayfade/internal/faults"
 	"rayfade/internal/latency"
 	"rayfade/internal/network"
 	"rayfade/internal/rng"
@@ -162,8 +166,60 @@ func scenarios() []scenario {
 				return server.BenchEstimateRequest(topo, 100, 1)
 			}, false)
 		}},
+		scenario{name: "server/goodput-under-faults", quick: false, setup: goodputUnderFaultsOp},
 	)
 	return list
+}
+
+// goodputUnderFaultsOp measures end-to-end goodput against a flaky daemon:
+// the injector makes a fifth of requests fail transiently at admission and
+// the occasional pool job error out, both surfacing as 503 + Retry-After,
+// and the retrying client must still land every request. One op = one
+// request completed despite the weather; the ns/op delta against
+// server/estimate-compute is the price of the fault rate plus the retry
+// machinery. (Panic faults are deliberately absent: a recovered panic is a
+// terminal 500, which a correct client does not retry.)
+func goodputUnderFaultsOp() (func(), func(), error) {
+	inj, err := faults.Parse("seed=11,server.handler=error:0.2,pool.job=error:0.05")
+	if err != nil {
+		return nil, nil, err
+	}
+	prev := faults.Default()
+	faults.SetDefault(inj)
+	srv := server.New(server.Config{CacheSize: -1})
+	ts := httptest.NewServer(srv)
+	cleanup := func() {
+		ts.Close()
+		srv.Close()
+		faults.SetDefault(prev)
+	}
+	c := client.New(client.Config{
+		BaseURL:     ts.URL,
+		HTTPClient:  ts.Client(),
+		MaxAttempts: 10,
+		BaseDelay:   time.Millisecond,
+		MaxDelay:    20 * time.Millisecond,
+		JitterSeed:  3,
+	})
+	var counter atomic.Uint64
+	op := func() {
+		topo, err := server.BenchTopology(40, 1)
+		if err != nil {
+			panic(fmt.Sprintf("raybench: goodput scenario topology: %v", err))
+		}
+		body, err := server.BenchEstimateRequest(topo, 100, counter.Add(1))
+		if err != nil {
+			panic(fmt.Sprintf("raybench: goodput scenario body: %v", err))
+		}
+		out, status, err := c.PostJSON(context.Background(), "/v1/estimate", body)
+		if err != nil {
+			panic(fmt.Sprintf("raybench: goodput scenario: %v", err))
+		}
+		if status != http.StatusOK {
+			panic(fmt.Sprintf("raybench: goodput scenario: terminal status %d: %s", status, out))
+		}
+	}
+	return op, cleanup, nil
 }
 
 // sampleSINRsOp builds the allocation-free Rayleigh sampling op over a

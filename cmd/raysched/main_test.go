@@ -3,14 +3,34 @@ package main
 import (
 	"bytes"
 	"context"
+	"fmt"
 	"os"
+	"os/exec"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"rayfade/internal/netio"
 	"rayfade/internal/network"
 	"rayfade/internal/rng"
 )
+
+// TestMain doubles as the re-exec entry point for the SIGKILL test: when
+// RAYSCHED_FIGURE1_CHILD is set the test binary behaves like `raysched
+// figure1 <args>` and never runs the suite, so the parent test can kill a
+// real process mid-run.
+func TestMain(m *testing.M) {
+	if os.Getenv("RAYSCHED_FIGURE1_CHILD") == "1" {
+		args := strings.Split(os.Getenv("RAYSCHED_FIGURE1_ARGS"), "\x1f")
+		if err := cmdFigure1(context.Background(), args); err != nil {
+			fmt.Fprintln(os.Stderr, "figure1 child:", err)
+			os.Exit(1)
+		}
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
 
 // captureStdout runs fn with os.Stdout redirected to a pipe and returns
 // what it printed.
@@ -81,6 +101,77 @@ func TestCmdFigure1ClusterTopology(t *testing.T) {
 	})
 	if !strings.Contains(out, "uniform/rayleigh_mean") {
 		t.Fatalf("output:\n%s", out)
+	}
+}
+
+// TestFigure1SIGKILLResumeByteIdentical is the end-to-end crash-safety
+// claim: a figure1 process killed with SIGKILL (no signal handler, no
+// graceful anything) mid-run leaves a checkpoint that a rerun resumes from,
+// and the resumed CSV is byte-identical to an uninterrupted run. Delay
+// faults slow the child's replications so the kill reliably lands mid-run.
+func TestFigure1SIGKILLResumeByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("re-execs the test binary")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Skipf("cannot locate test binary: %v", err)
+	}
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "fig1.ckpt")
+	common := []string{"-networks", "6", "-links", "20", "-txseeds", "2",
+		"-fadeseeds", "2", "-points", "3", "-workers", "1"}
+
+	childArgs := append(append([]string{}, common...),
+		"-checkpoint", ck,
+		"-out", filepath.Join(dir, "child.csv"),
+		"-faults", "seed=1,sim.replication=delay:1:300ms")
+	cmd := exec.Command(exe, "-test.run=^$")
+	cmd.Env = append(os.Environ(),
+		"RAYSCHED_FIGURE1_CHILD=1",
+		"RAYSCHED_FIGURE1_ARGS="+strings.Join(childArgs, "\x1f"))
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The checkpoint is written atomically, so its appearance means at
+	// least one replication is durably recorded — kill the moment it shows.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if fi, err := os.Stat(ck); err == nil && fi.Size() > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			cmd.Process.Kill()
+			cmd.Wait()
+			t.Fatal("checkpoint file never appeared")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if err := cmd.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	cmd.Wait() // expected to report the kill; the checkpoint is what matters
+
+	resumed := filepath.Join(dir, "resumed.csv")
+	resumeArgs := append(append([]string{}, common...), "-checkpoint", ck, "-out", resumed)
+	if err := cmdFigure1(context.Background(), resumeArgs); err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	ref := filepath.Join(dir, "ref.csv")
+	refArgs := append(append([]string{}, common...), "-out", ref)
+	if err := cmdFigure1(context.Background(), refArgs); err != nil {
+		t.Fatalf("reference run: %v", err)
+	}
+	got, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(ref)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("resumed run differs from uninterrupted run:\nresumed:\n%s\nreference:\n%s", got, want)
 	}
 }
 

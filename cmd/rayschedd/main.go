@@ -23,6 +23,7 @@ import (
 	"syscall"
 	"time"
 
+	"rayfade/internal/faults"
 	"rayfade/internal/obs"
 	"rayfade/internal/server"
 	"rayfade/internal/version"
@@ -48,6 +49,7 @@ func run(args []string, stdout, stderr *os.File) int {
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		logLevel    = fs.String("log-level", "info", "access-log level: debug, info, warn, error, or off")
 		debug       = fs.Bool("debug", false, "mount /debug/obs and /debug/pprof/ (exposes runtime internals)")
+		faultSpec   = fs.String("faults", "", `inject deterministic faults, e.g. "seed=1,server.handler=error:0.1,pool.job=panic:0.01"`)
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -61,6 +63,16 @@ func run(args []string, stdout, stderr *os.File) int {
 		fmt.Fprintf(stderr, "rayschedd: unexpected argument %q\n", fs.Arg(0))
 		fs.Usage()
 		return 2
+	}
+	if *faultSpec != "" {
+		inj, err := faults.Parse(*faultSpec)
+		if err != nil {
+			fmt.Fprintf(stderr, "rayschedd: %v\n", err)
+			return 2
+		}
+		faults.SetDefault(inj)
+		defer faults.SetDefault(nil)
+		fmt.Fprintf(stderr, "rayschedd: fault injection armed: %s\n", *faultSpec)
 	}
 
 	cache := *cacheSize

@@ -18,6 +18,8 @@ import (
 	"runtime"
 	"strings"
 	"time"
+
+	"rayfade/internal/fsio"
 )
 
 // SchemaVersion identifies the BENCH report layout. Readers reject files
@@ -245,7 +247,7 @@ func WriteReport(path string, r *Report) error {
 	if err != nil {
 		return fmt.Errorf("benchio: marshal report: %w", err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return fsio.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 // ReadReport reads and validates a BENCH report. It rejects files written

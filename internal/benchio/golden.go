@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"os"
 	"sort"
+
+	"rayfade/internal/fsio"
 )
 
 // GoldenSchemaVersion identifies the golden-manifest layout.
@@ -88,7 +90,7 @@ func WriteGolden(path string, m *GoldenManifest) error {
 	if err != nil {
 		return fmt.Errorf("benchio: marshal golden manifest: %w", err)
 	}
-	return os.WriteFile(path, append(data, '\n'), 0o644)
+	return fsio.WriteFileAtomic(path, append(data, '\n'), 0o644)
 }
 
 // ReadGolden reads and validates a golden manifest.

@@ -1,0 +1,221 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeSleep records requested pauses without waiting.
+type fakeSleep struct {
+	delays []time.Duration
+}
+
+func (f *fakeSleep) sleep(ctx context.Context, d time.Duration) error {
+	f.delays = append(f.delays, d)
+	return ctx.Err()
+}
+
+func newTestClient(t *testing.T, ts *httptest.Server, cfg Config) (*Client, *fakeSleep) {
+	t.Helper()
+	fs := &fakeSleep{}
+	cfg.BaseURL = ts.URL
+	cfg.HTTPClient = ts.Client()
+	if cfg.Sleep == nil {
+		cfg.Sleep = fs.sleep
+	}
+	return New(cfg), fs
+}
+
+func TestPostJSONSuccessFirstTry(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		if string(body) != `{"x":1}` {
+			t.Errorf("server saw body %q", body)
+		}
+		w.Write([]byte(`{"ok":true}`))
+	}))
+	defer ts.Close()
+	c, fs := newTestClient(t, ts, Config{})
+	out, status, err := c.PostJSON(context.Background(), "/v1/x", []byte(`{"x":1}`))
+	if err != nil || status != 200 || string(out) != `{"ok":true}` {
+		t.Fatalf("out=%q status=%d err=%v", out, status, err)
+	}
+	if len(fs.delays) != 0 {
+		t.Fatalf("slept %v on a clean request", fs.delays)
+	}
+	st := c.Stats()
+	if st.Requests != 1 || st.Attempts != 1 || st.Retries != 0 || st.Failures != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestRetriesOn503ThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "1")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`done`))
+	}))
+	defer ts.Close()
+	c, fs := newTestClient(t, ts, Config{BaseDelay: 10 * time.Millisecond})
+	out, status, err := c.PostJSON(context.Background(), "/v1/x", nil)
+	if err != nil || status != 200 || string(out) != "done" {
+		t.Fatalf("out=%q status=%d err=%v", out, status, err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	// Retry-After: 1 floors both backoffs at one second, far above the
+	// 10ms jitter envelope.
+	if len(fs.delays) != 2 {
+		t.Fatalf("delays %v, want 2 pauses", fs.delays)
+	}
+	for i, d := range fs.delays {
+		if d < time.Second {
+			t.Fatalf("pause %d = %v ignores Retry-After floor", i, d)
+		}
+	}
+	st := c.Stats()
+	if st.Requests != 1 || st.Attempts != 3 || st.Retries != 2 || st.Failures != 0 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestDoesNotRetryApplicationErrors(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+		w.Write([]byte(`{"error":"bad beta"}`))
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(t, ts, Config{})
+	out, status, err := c.PostJSON(context.Background(), "/v1/x", nil)
+	if err != nil {
+		t.Fatalf("4xx must not be a transport error: %v", err)
+	}
+	if status != 400 || !strings.Contains(string(out), "bad beta") {
+		t.Fatalf("status=%d out=%q", status, out)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("a deterministic 400 was retried %d times", calls.Load())
+	}
+}
+
+func TestBudgetExhaustion(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusTooManyRequests)
+	}))
+	defer ts.Close()
+	c, fs := newTestClient(t, ts, Config{MaxAttempts: 4})
+	_, _, err := c.PostJSON(context.Background(), "/v1/x", nil)
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v", err)
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("server saw %d calls, want exactly MaxAttempts", calls.Load())
+	}
+	if len(fs.delays) != 3 {
+		t.Fatalf("%d pauses, want MaxAttempts-1", len(fs.delays))
+	}
+	if st := c.Stats(); st.Failures != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestBackoffEnvelopeGrowsAndIsJittered(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	base := 100 * time.Millisecond
+	c, fs := newTestClient(t, ts, Config{MaxAttempts: 6, BaseDelay: base, MaxDelay: time.Hour, JitterSeed: 7})
+	c.PostJSON(context.Background(), "/v1/x", nil)
+	if len(fs.delays) != 5 {
+		t.Fatalf("delays %v", fs.delays)
+	}
+	for k, d := range fs.delays {
+		env := base << uint(k)
+		if d < 0 || d > env {
+			t.Fatalf("pause %d = %v outside full-jitter envelope [0,%v]", k, d, env)
+		}
+	}
+}
+
+func TestBackoffDeterministicPerSeed(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	run := func(seed uint64) []time.Duration {
+		c, fs := newTestClient(t, ts, Config{MaxAttempts: 5, JitterSeed: seed})
+		c.PostJSON(context.Background(), "/v1/x", nil)
+		return fs.delays
+	}
+	a, b := run(3), run(3)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, different schedule: %v vs %v", a, b)
+		}
+	}
+	other := run(4)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter — clients would herd")
+	}
+}
+
+func TestContextCancellationStopsRetrying(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	fs := &fakeSleep{}
+	c := New(Config{BaseURL: ts.URL, HTTPClient: ts.Client(), Sleep: func(sctx context.Context, d time.Duration) error {
+		fs.delays = append(fs.delays, d)
+		cancel() // cancel during the first backoff
+		return sctx.Err()
+	}})
+	_, _, err := c.PostJSON(ctx, "/v1/x", nil)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(fs.delays) != 1 {
+		t.Fatalf("kept retrying after cancellation: %v", fs.delays)
+	}
+}
+
+func TestRetriesTransportErrors(t *testing.T) {
+	// A server that closes immediately yields connection-refused transport
+	// errors for every attempt.
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	url := ts.URL
+	ts.Close()
+	fs := &fakeSleep{}
+	c := New(Config{BaseURL: url, MaxAttempts: 3, Sleep: fs.sleep})
+	_, _, err := c.PostJSON(context.Background(), "/v1/x", nil)
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v", err)
+	}
+	if got := c.Stats().Attempts; got != 3 {
+		t.Fatalf("attempts = %d, want 3", got)
+	}
+}

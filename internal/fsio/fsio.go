@@ -1,0 +1,98 @@
+// Package fsio provides crash-safe file writes for everything the
+// reproduction persists — results tables, benchmark reports, golden
+// manifests, traces, checkpoints. The invariant is write-temp + fsync +
+// rename: a reader of the destination path sees either the previous
+// complete file or the new complete file, never a torn mix, no matter
+// where the writer crashes.
+//
+// The package also hosts the faults.SiteFileWrite injection site: a
+// "partial" fault writes only a prefix of the temp file and fails before
+// the rename, which is exactly the crash the atomic protocol defends
+// against — the destination must be untouched and the temp file cleaned up.
+package fsio
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"rayfade/internal/faults"
+)
+
+// WriteFileAtomic writes data to path atomically: the bytes land in a
+// temporary file in the same directory (same filesystem, so rename is
+// atomic), are fsynced, and only then renamed over path. On any error the
+// destination is left as it was and the temp file is removed.
+func WriteFileAtomic(path string, data []byte, perm os.FileMode) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return fmt.Errorf("fsio: create temp for %s: %w", path, err)
+	}
+	tmpName := tmp.Name()
+	cleanup := func() {
+		tmp.Close()
+		os.Remove(tmpName)
+	}
+
+	if err := faults.Inject(faults.SiteFileWrite); err != nil {
+		cleanup()
+		return fmt.Errorf("fsio: write %s: %w", path, err)
+	}
+	if k, fail := faults.PartialWrite(faults.SiteFileWrite, len(data)); fail {
+		// Simulate a crash mid-write: flush a prefix, then abandon the
+		// temp file without renaming. The destination must stay intact.
+		tmp.Write(data[:k])
+		tmp.Sync()
+		cleanup()
+		return fmt.Errorf("fsio: write %s: partial write of %d/%d bytes: %w",
+			path, k, len(data), faults.ErrInjected)
+	}
+
+	if _, err := tmp.Write(data); err != nil {
+		cleanup()
+		return fmt.Errorf("fsio: write %s: %w", path, err)
+	}
+	if err := tmp.Sync(); err != nil {
+		cleanup()
+		return fmt.Errorf("fsio: sync %s: %w", path, err)
+	}
+	if err := tmp.Chmod(perm); err != nil {
+		cleanup()
+		return fmt.Errorf("fsio: chmod %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fsio: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		return fmt.Errorf("fsio: rename %s: %w", path, err)
+	}
+	return syncDir(dir)
+}
+
+// WriteAtomic renders via the callback into a buffer and writes the result
+// atomically. Convenient for the io.Writer-shaped renderers (CSV tables,
+// trace exporters) that should not stream straight into the destination.
+func WriteAtomic(path string, perm os.FileMode, render func(w io.Writer) error) error {
+	var buf bytes.Buffer
+	if err := render(&buf); err != nil {
+		return err
+	}
+	return WriteFileAtomic(path, buf.Bytes(), perm)
+}
+
+// syncDir fsyncs a directory so the rename itself is durable. Some
+// filesystems don't support fsync on directories; that is not worth
+// failing the write over, so errors other than open failures are ignored.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return nil
+	}
+	d.Sync()
+	return d.Close()
+}

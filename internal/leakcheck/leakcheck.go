@@ -1,0 +1,43 @@
+// Package leakcheck is a minimal goroutine-leak detector shared by the
+// pool and sim test suites. It snapshots the goroutine count at the start
+// of a test and fails the test at cleanup if the count has not returned to
+// (at most) the starting level after a short grace period.
+//
+// Count-based checking is deliberately simple: it cannot name the leaked
+// goroutine, but it needs no dependencies and is immune to the stack-label
+// churn that makes dump-parsing detectors brittle. Runtime-internal
+// goroutines that appear once per process (e.g. the first timer) are
+// absorbed by the retry loop's grace period.
+package leakcheck
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// Check registers a cleanup on t that fails the test if goroutines leaked
+// during it. Call it first thing in the test, before spawning anything.
+func Check(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		// Goroutines unwind asynchronously after channel closes and
+		// WaitGroup releases; give them a moment before declaring a leak.
+		deadline := time.Now().Add(2 * time.Second)
+		var after int
+		for {
+			runtime.Gosched()
+			after = runtime.NumGoroutine()
+			if after <= before || time.Now().After(deadline) {
+				break
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+		if after > before {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Errorf("leakcheck: %d goroutines before, %d after\n%s", before, after, buf[:n])
+		}
+	})
+}

@@ -17,6 +17,7 @@ import (
 	"os"
 	"strings"
 
+	"rayfade/internal/fsio"
 	"rayfade/internal/geom"
 	"rayfade/internal/network"
 )
@@ -155,17 +156,13 @@ func Load(r io.Reader) (*network.Network, error) {
 	return net, nil
 }
 
-// SaveFile writes the network to path (truncating).
+// SaveFile writes the network to path atomically (write-temp + fsync +
+// rename): a crash mid-save leaves any previous file intact, never a torn
+// topology.
 func SaveFile(path string, net *network.Network) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	if err := Save(f, net); err != nil {
-		return err
-	}
-	return f.Close()
+	return fsio.WriteAtomic(path, 0o644, func(w io.Writer) error {
+		return Save(w, net)
+	})
 }
 
 // LoadFile reads a network from path.

@@ -4,8 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
-	"os"
 	"sort"
+
+	"rayfade/internal/fsio"
 )
 
 // The exporter emits the Chrome trace-event JSON object format
@@ -69,17 +70,13 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 	return enc.Encode(doc)
 }
 
-// WriteTraceFile writes the trace to path (0644, truncating).
+// WriteTraceFile writes the trace to path atomically (0644): a crash
+// mid-export never leaves a truncated trace behind.
 func (t *Tracer) WriteTraceFile(path string) error {
-	f, err := os.Create(path)
-	if err != nil {
-		return fmt.Errorf("obs: create trace file: %w", err)
-	}
-	if err := t.WriteTrace(f); err != nil {
-		f.Close()
+	if err := fsio.WriteAtomic(path, 0o644, t.WriteTrace); err != nil {
 		return fmt.Errorf("obs: write trace: %w", err)
 	}
-	return f.Close()
+	return nil
 }
 
 // TraceStats summarizes a validated trace document.

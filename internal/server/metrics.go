@@ -34,6 +34,7 @@ type endpointStats struct {
 	queueWait *stats.Histogram
 	waitSec   float64
 	waitCount uint64
+	shed      *obs.Counter // 429 queue-full rejections, lazily created
 }
 
 // Metrics is the daemon's observability surface: per-endpoint request and
@@ -129,6 +130,20 @@ func (m *Metrics) Observe(endpoint string, code int, seconds float64) {
 	}
 }
 
+// ObserveShed records one request rejected at the door because the worker
+// queue was full — the load the daemon deliberately refused. Rendered as
+// rayschedd_shed_requests_total and mirrored in the obs registry as
+// "shed.<endpoint>".
+func (m *Metrics) ObserveShed(endpoint string) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	es := m.stats(endpoint)
+	if es.shed == nil {
+		es.shed = m.reg.Counter("shed." + endpoint)
+	}
+	es.shed.Add(1)
+}
+
 // ObserveQueueWait records how long one request waited for a pool worker.
 func (m *Metrics) ObserveQueueWait(endpoint string, seconds float64) {
 	if seconds < 0 || math.IsNaN(seconds) {
@@ -203,6 +218,26 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 		if err := p("rayschedd_request_duration_seconds_count{endpoint=%q} %d\n", ep, es.count); err != nil {
+			return n, err
+		}
+	}
+
+	// Shed-request series appear only for endpoints that have actually shed
+	// load, following the queue-wait precedent: quiet deployments (and the
+	// seed golden outputs) render unchanged.
+	shedHeader := false
+	for _, ep := range eps {
+		es := m.endpoints[ep]
+		if es.shed == nil || es.shed.Load() == 0 {
+			continue
+		}
+		if !shedHeader {
+			if err := p("# HELP rayschedd_shed_requests_total Requests rejected with 429 because the worker queue was full.\n# TYPE rayschedd_shed_requests_total counter\n"); err != nil {
+				return n, err
+			}
+			shedHeader = true
+		}
+		if err := p("rayschedd_shed_requests_total{endpoint=%q} %d\n", ep, es.shed.Load()); err != nil {
 			return n, err
 		}
 	}

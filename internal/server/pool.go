@@ -8,6 +8,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"rayfade/internal/faults"
 )
 
 // ErrQueueFull is returned by Pool.Do when the admission queue has no room
@@ -41,6 +43,8 @@ type Pool struct {
 	jobs     chan *job
 	wg       sync.WaitGroup
 	inFlight atomic.Int64
+	workers  int
+	draining atomic.Bool
 
 	mu     sync.RWMutex
 	closed bool
@@ -55,7 +59,7 @@ func NewPool(workers, queue int) *Pool {
 	if queue < 0 {
 		queue = 64
 	}
-	p := &Pool{jobs: make(chan *job, queue)}
+	p := &Pool{jobs: make(chan *job, queue), workers: workers}
 	p.wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go p.worker()
@@ -76,6 +80,13 @@ func (p *Pool) worker() {
 func (p *Pool) run(j *job) {
 	defer close(j.done)
 	j.wait = time.Since(j.enq)
+	// A job still queued when Close begins fails deterministically instead
+	// of running during shutdown: its submitter is likely gone, and "Close
+	// returned" must mean "no request work is executing anywhere".
+	if p.draining.Load() {
+		j.err = ErrPoolClosed
+		return
+	}
 	if err := j.ctx.Err(); err != nil {
 		j.err = err
 		return
@@ -87,6 +98,13 @@ func (p *Pool) run(j *job) {
 			j.err = fmt.Errorf("server: job panic: %v", r)
 		}
 	}()
+	// Chaos hook: an injected panic here is recovered into j.err exactly
+	// like a panic out of the job body — the path the HTTP layer's 500
+	// mapping relies on.
+	if err := faults.Inject(faults.SitePoolJob); err != nil {
+		j.err = err
+		return
+	}
 	j.fn(j.ctx)
 }
 
@@ -129,8 +147,15 @@ func (p *Pool) QueueDepth() int { return len(p.jobs) }
 // InFlight returns the number of jobs currently executing.
 func (p *Pool) InFlight() int { return int(p.inFlight.Load()) }
 
-// Close stops admission and blocks until every queued and in-flight job has
-// finished — the drain half of graceful shutdown. Close is idempotent.
+// Workers returns the pool's worker count — the denominator for the HTTP
+// layer's Retry-After estimate (queued jobs per worker).
+func (p *Pool) Workers() int { return p.workers }
+
+// Close stops admission and blocks until shutdown is complete: in-flight
+// jobs finish, and jobs still waiting in the queue fail with ErrPoolClosed
+// (their submitters unblock immediately with a deterministic error — they
+// neither hang nor run during shutdown). Close is idempotent and leaves no
+// worker goroutines behind.
 func (p *Pool) Close() {
 	p.mu.Lock()
 	if p.closed {
@@ -138,6 +163,7 @@ func (p *Pool) Close() {
 		return
 	}
 	p.closed = true
+	p.draining.Store(true)
 	close(p.jobs)
 	p.mu.Unlock()
 	p.wg.Wait()

@@ -41,11 +41,14 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"strconv"
 	"time"
 
+	"rayfade/internal/faults"
 	"rayfade/internal/obs"
 	"rayfade/internal/version"
 )
@@ -193,13 +196,20 @@ func (s *Server) Close() { s.pool.Close() }
 type statusWriter struct {
 	http.ResponseWriter
 	status    int
+	wrote     bool // any part of the response sent — a late 500 is impossible
 	queueWait time.Duration
 	pooled    bool
 }
 
 func (w *statusWriter) WriteHeader(code int) {
 	w.status = code
+	w.wrote = true
 	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	w.wrote = true
+	return w.ResponseWriter.Write(b)
 }
 
 // instrumented wraps a handler with the per-request observability chain:
@@ -224,24 +234,39 @@ func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerF
 		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
+		// The accounting below runs in a defer so a panicking handler (a bug,
+		// or an injected fault) is still counted, logged, and — when nothing
+		// has been sent yet — answered with a JSON 500 instead of net/http
+		// tearing down the connection. The daemon must stay up under faults.
+		defer func() {
+			if rec := recover(); rec != nil {
+				if !sw.wrote {
+					writeError(sw, fmt.Errorf("server: handler panic: %v", rec))
+				} else {
+					sw.status = http.StatusInternalServerError
+				}
+				s.log.Error("handler panic",
+					"request_id", reqID, "endpoint", endpoint, "panic", fmt.Sprint(rec))
+			}
+			elapsed := time.Since(start)
+			if sp != nil {
+				sp.SetAttr("status", sw.status)
+				sp.End()
+			}
+			s.metrics.Observe(endpoint, sw.status, elapsed.Seconds())
+			if sw.pooled {
+				s.metrics.ObserveQueueWait(endpoint, sw.queueWait.Seconds())
+			}
+			s.log.Info("request",
+				"request_id", reqID,
+				"endpoint", endpoint,
+				"method", r.Method,
+				"status", sw.status,
+				"duration", elapsed.Round(time.Microsecond).String(),
+				"queue_wait", sw.queueWait.Round(time.Microsecond).String(),
+			)
+		}()
 		h(sw, r.WithContext(ctx))
-		elapsed := time.Since(start)
-		if sp != nil {
-			sp.SetAttr("status", sw.status)
-			sp.End()
-		}
-		s.metrics.Observe(endpoint, sw.status, elapsed.Seconds())
-		if sw.pooled {
-			s.metrics.ObserveQueueWait(endpoint, sw.queueWait.Seconds())
-		}
-		s.log.Info("request",
-			"request_id", reqID,
-			"endpoint", endpoint,
-			"method", r.Method,
-			"status", sw.status,
-			"duration", elapsed.Round(time.Microsecond).String(),
-			"queue_wait", sw.queueWait.Round(time.Microsecond).String(),
-		)
 	}
 }
 
@@ -266,15 +291,45 @@ func writeError(w http.ResponseWriter, err error) {
 		status = http.StatusGatewayTimeout
 	case errors.Is(err, ErrQueueFull):
 		status = http.StatusTooManyRequests
-		w.Header().Set("Retry-After", "1")
+		// serve() sets a load-derived Retry-After before calling here; this
+		// is only the fallback for paths that didn't.
+		if w.Header().Get("Retry-After") == "" {
+			w.Header().Set("Retry-After", "1")
+		}
 	case errors.Is(err, ErrPoolClosed):
 		status = http.StatusServiceUnavailable
+	case errors.Is(err, faults.ErrInjected):
+		// Injected transient errors present as a retryable outage: the
+		// contract the retrying client is tested against.
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
 	}
 	body, merr := json.Marshal(errorBody{Error: err.Error()})
 	if merr != nil {
 		body = []byte(`{"error":"internal"}`)
 	}
 	writeJSON(w, status, body)
+}
+
+// retryAfter estimates how long a shed client should back off, in whole
+// seconds: the queue backlog divided by the worker count (a crude jobs-per-
+// worker proxy for drain time, since job durations vary by orders of
+// magnitude), clamped to [1,30] so the hint is never zero and never tells a
+// client to go away for minutes.
+func (s *Server) retryAfter() string {
+	depth := s.pool.QueueDepth()
+	workers := s.pool.Workers()
+	if workers < 1 {
+		workers = 1
+	}
+	secs := (depth + workers - 1) / workers
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
 }
 
 // deadline derives the request's compute context: the server default
@@ -296,6 +351,13 @@ func (s *Server) deadline(r *http.Request, timeoutMS int64) (context.Context, co
 // on a pool worker.
 func (s *Server) serve(w http.ResponseWriter, r *http.Request, endpoint string, params any,
 	topology []byte, timeoutMS int64, compute func(ctx context.Context) (any, error)) {
+	// Chaos hook: a transient error here answers 503 + Retry-After (the
+	// retryable-outage contract); an injected panic is recovered by the
+	// instrumented wrapper into a JSON 500. Free when no injector is set.
+	if err := faults.Inject(faults.SiteHandler); err != nil {
+		writeError(w, err)
+		return
+	}
 	key := requestKey(endpoint, params, topology)
 	if body, ok := s.cache.Get(key); ok {
 		w.Header().Set("X-Cache", "hit")
@@ -326,6 +388,10 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, endpoint string, 
 		sw.pooled = !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrPoolClosed)
 	}
 	if err != nil {
+		if errors.Is(err, ErrQueueFull) {
+			s.metrics.ObserveShed(endpoint)
+			w.Header().Set("Retry-After", s.retryAfter())
+		}
 		writeError(w, err)
 		return
 	}

@@ -2,6 +2,7 @@ package sim
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"sort"
 
@@ -35,6 +36,15 @@ type Figure1Config struct {
 	// robustness variant probing whether the Figure-1 shape depends on
 	// uniform placement.
 	Topology string
+	// Checkpoint, when non-empty, is a file path where completed
+	// per-network replications are persisted (crash-safe, atomic); an
+	// existing compatible checkpoint resumes the run from whatever it
+	// holds. It does not influence the computed results — a resumed run is
+	// byte-identical to an uninterrupted one.
+	Checkpoint string
+	// CheckpointEvery is the flush interval in completed replications
+	// (≤0: after every replication).
+	CheckpointEvery int
 }
 
 // withDefaults fills zero fields with the paper's parameters.
@@ -165,8 +175,40 @@ func RunFigure1Ctx(ctx context.Context, cfg Figure1Config) (*Figure1Result, erro
 	type netResult struct {
 		curves map[string]*stats.Series
 	}
+	var ck *Checkpoint
+	if cfg.Checkpoint != "" {
+		// The identity key covers exactly the fields that determine the
+		// fixed-seed output; execution knobs (Workers, the checkpoint path
+		// itself) are deliberately excluded so a resume may change them.
+		key := struct {
+			Networks, Links, TransmitSeeds, FadingSeeds int
+			Probs                                       []float64
+			Beta, Alpha, Noise, DMin, DMax, Side, Power float64
+			Seed                                        uint64
+			Topology                                    string
+		}{cfg.Networks, cfg.Links, cfg.TransmitSeeds, cfg.FadingSeeds, cfg.Probs,
+			cfg.Beta, cfg.Alpha, cfg.Noise, cfg.DMin, cfg.DMax, cfg.Side, cfg.Power,
+			cfg.Seed, cfg.Topology}
+		var err error
+		ck, err = OpenCheckpoint(cfg.Checkpoint, "figure1", key, cfg.Networks, cfg.CheckpointEvery)
+		if err != nil {
+			return nil, err
+		}
+		if n := ck.Restored(); n > 0 {
+			activeLogger().Info("sim.figure1 resuming from checkpoint",
+				"path", cfg.Checkpoint, "restored", n, "total", cfg.Networks)
+		}
+	}
+	encode := func(nr netResult) ([]byte, error) { return json.Marshal(nr.curves) }
+	decode := func(data []byte) (netResult, error) {
+		var curves map[string]*stats.Series
+		if err := json.Unmarshal(data, &curves); err != nil {
+			return netResult{}, err
+		}
+		return netResult{curves: curves}, nil
+	}
 	base := rng.New(cfg.Seed)
-	perNet, perErr := ParallelCtx(ctx, cfg.Networks, cfg.Workers, base, func(rep int, src *rng.Source) netResult {
+	perNet, perErr := ParallelCheckpointCtx(ctx, cfg.Networks, cfg.Workers, base, ck, encode, decode, func(rep int, src *rng.Source) netResult {
 		out := netResult{curves: map[string]*stats.Series{
 			CurveUniformNonFading: stats.NewSeries(cfg.Probs),
 			CurveUniformRayleigh:  stats.NewSeries(cfg.Probs),

@@ -19,6 +19,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"rayfade/internal/faults"
 	"rayfade/internal/obs"
 	"rayfade/internal/progress"
 	"rayfade/internal/rng"
@@ -120,6 +121,13 @@ func ParallelCtx[T any](ctx context.Context, reps, workers int, base *rng.Source
 	runOne := func(r int, src *rng.Source) T {
 		_, sp := obs.StartDetached(ctx, "replication")
 		sp.SetAttr("rep", r)
+		// Chaos hook: a replication body has no error channel, so an injected
+		// transient error escalates to a panic here, same as an injected
+		// panic — the process-killing crash that checkpoint/resume exists to
+		// survive. With no injector installed this is one atomic load.
+		if err := faults.Inject(faults.SiteReplication); err != nil {
+			panic(err)
+		}
 		out := fn(r, src)
 		sp.End()
 		return out

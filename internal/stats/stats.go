@@ -9,6 +9,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -125,6 +126,36 @@ func (r *Running) Max() float64 { return r.max }
 // CI95 returns the half-width of a normal-approximation 95% confidence
 // interval for the mean.
 func (r *Running) CI95() float64 { return 1.96 * r.StdErr() }
+
+// runningJSON is the serialized form of Running, used by the simulation
+// checkpoint files. encoding/json renders float64 in shortest round-trip
+// form, so a marshal/unmarshal cycle is bit-exact — a resumed run carries
+// precisely the accumulator state of the interrupted one.
+type runningJSON struct {
+	N    int     `json:"n"`
+	Mean float64 `json:"mean"`
+	M2   float64 `json:"m2"`
+	Min  float64 `json:"min"`
+	Max  float64 `json:"max"`
+}
+
+// MarshalJSON serializes the accumulator's full internal state.
+func (r Running) MarshalJSON() ([]byte, error) {
+	return json.Marshal(runningJSON{N: r.n, Mean: r.mean, M2: r.m2, Min: r.min, Max: r.max})
+}
+
+// UnmarshalJSON restores an accumulator serialized by MarshalJSON.
+func (r *Running) UnmarshalJSON(data []byte) error {
+	var s runningJSON
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	if s.N < 0 {
+		return fmt.Errorf("stats: Running state has negative n=%d", s.N)
+	}
+	r.n, r.mean, r.m2, r.min, r.max = s.N, s.Mean, s.M2, s.Min, s.Max
+	return nil
+}
 
 // Summary is an immutable snapshot of a Running accumulator, convenient for
 // reporting.
