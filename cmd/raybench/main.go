@@ -31,6 +31,7 @@ import (
 	"os/exec"
 	"os/signal"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"syscall"
 	"time"
@@ -52,6 +53,8 @@ func main() {
 	switch os.Args[1] {
 	case "run":
 		err = cmdRun(ctx, os.Args[2:])
+	case "scaling":
+		err = cmdScaling(ctx, os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "golden":
@@ -82,6 +85,7 @@ func usage() {
 
 subcommands:
   run         measure the benchmark suite and write BENCH_<label>.json
+  scaling     measure the worker-scaling scenarios and gate on the speedup
   compare     compare two BENCH files; exit 1 on regressions beyond the threshold
   golden      hash fixed-seed experiment outputs; -check verifies the manifest
   tracecheck  validate Chrome trace-event JSON files (-nested requires span nesting)
@@ -113,6 +117,7 @@ func cmdRun(ctx context.Context, args []string) error {
 	list := fs.Bool("list", false, "list scenario names and exit")
 	traceDir := fs.String("trace-dir", "", "after each scenario, run a traced pass and write one Chrome trace here")
 	faultSpec := fs.String("faults", "", `inject deterministic faults during the run, e.g. "seed=1,pool.job=error:0.05"`)
+	forceScaling := fs.Bool("force-scaling", false, "record worker-scaling scenarios even when the width exceeds this machine's CPU count")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -169,6 +174,14 @@ func cmdRun(ctx context.Context, args []string) error {
 		if *filter != "" && !strings.Contains(sc.name, *filter) {
 			continue
 		}
+		// A scaling scenario wider than the machine would record an
+		// oversubscribed (and therefore meaningless) number — the corruption
+		// that poisoned the original seed baseline. Refuse unless forced.
+		if w := benchio.ScalingWidth(sc.name); w > runtime.NumCPU() && !*forceScaling {
+			fmt.Fprintf(os.Stderr, "raybench: skipping %s: width %d exceeds %d CPUs (-force-scaling records it anyway)\n",
+				sc.name, w, runtime.NumCPU())
+			continue
+		}
 		op, cleanup, err := sc.setup()
 		if err != nil {
 			return fmt.Errorf("setup %s: %w", sc.name, err)
@@ -197,6 +210,78 @@ func cmdRun(ctx context.Context, args []string) error {
 		return err
 	}
 	fmt.Printf("wrote %d scenarios to %s\n", len(report.Scenarios), path)
+	return nil
+}
+
+// cmdScaling measures the worker-scaling scenarios at every width the
+// machine can honestly provide and gates on the speedup of the widest
+// feasible width over workers=1. Unlike compare it needs no baseline file:
+// scaling is a property of one machine at one revision, so it is measured
+// and judged in a single run. On machines with too few CPUs for any
+// multi-worker width the gate degrades to a notice and success — a laptop
+// must not fail CI's job locally.
+func cmdScaling(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("scaling", flag.ExitOnError)
+	minSpeedup := fs.Float64("min-speedup", 2.0, "required speedup of the widest feasible width over workers=1")
+	reps := fs.Int("reps", 3, "timed repetitions per width")
+	minTime := fs.Duration("mintime", 25*time.Millisecond, "per-rep wall-time target")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if n := runtime.NumCPU(); n < procs {
+		procs = n
+	}
+	type point struct {
+		width int
+		ns    float64
+	}
+	var points []point
+	for _, sc := range scenarios() {
+		w := benchio.ScalingWidth(sc.name)
+		if w == 0 {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if w > procs {
+			fmt.Fprintf(os.Stderr, "raybench: scaling: skipping %s (%d CPUs usable)\n", sc.name, procs)
+			continue
+		}
+		op, cleanup, err := sc.setup()
+		if err != nil {
+			return fmt.Errorf("setup %s: %w", sc.name, err)
+		}
+		s := benchio.Measure(sc.name, benchio.Options{WarmupIters: 1, Reps: *reps, MinTime: *minTime}, op)
+		cleanup()
+		fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/op\n", sc.name, s.NsPerOp)
+		points = append(points, point{w, s.NsPerOp})
+	}
+	if len(points) < 2 {
+		fmt.Printf("scaling: only %d feasible width(s) on a %d-CPU machine; nothing to gate\n", len(points), procs)
+		return nil
+	}
+	base, widest := points[0], points[0]
+	for _, p := range points[1:] {
+		if p.width < base.width {
+			base = p
+		}
+		if p.width > widest.width {
+			widest = p
+		}
+	}
+	if widest.ns <= 0 || base.ns <= 0 {
+		return fmt.Errorf("scaling: non-positive measurement (workers=%d: %g ns/op, workers=%d: %g ns/op)",
+			base.width, base.ns, widest.width, widest.ns)
+	}
+	speedup := base.ns / widest.ns
+	fmt.Printf("scaling: workers=%d is %.2fx workers=%d (gate: ≥%.2fx)\n",
+		widest.width, speedup, base.width, *minSpeedup)
+	if speedup < *minSpeedup {
+		return fmt.Errorf("scaling gate failed: workers=%d only %.2fx over workers=%d, want ≥%.2fx",
+			widest.width, speedup, base.width, *minSpeedup)
+	}
 	return nil
 }
 

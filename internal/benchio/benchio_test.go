@@ -130,3 +130,37 @@ func TestReadReportRejectsGarbage(t *testing.T) {
 		t.Fatal("want read error for absent file, got nil")
 	}
 }
+
+func TestScalingWidth(t *testing.T) {
+	cases := map[string]int{
+		"sim/figure1-small/workers=1":  1,
+		"sim/figure1-small/workers=8":  8,
+		"sim/figure1-small/workers=64": 64,
+		"fading/sample-sinrs-100":      0,
+		"workers=4":                    4,
+		"sim/notworkers=4":             0, // suffix must be its own path segment
+		"sim/workers=":                 0,
+		"sim/workers=-2":               0,
+		"":                             0,
+	}
+	for name, want := range cases {
+		if got := ScalingWidth(name); got != want {
+			t.Errorf("ScalingWidth(%q) = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func TestMeasureAllocationFreeReportsExactlyZero(t *testing.T) {
+	// A kernel that allocates nothing must report exactly 0 allocs/op even
+	// when unrelated runtime activity allocates once during one of the
+	// measurement windows; the min-of-two-passes rule filters such one-offs.
+	sink := 0.0
+	s := Measure("zero", Options{Reps: 1, MinTime: time.Millisecond}, func() {
+		for i := 0; i < 100; i++ {
+			sink += float64(i)
+		}
+	})
+	if s.AllocsPerOp != 0 {
+		t.Fatalf("allocs/op = %g, want exactly 0", s.AllocsPerOp)
+	}
+}

@@ -15,6 +15,11 @@ const (
 	StatusRegression   = "regression"
 	StatusImprovement  = "improvement"
 	StatusIncomparable = "incomparable"
+	// StatusInformational marks a delta that was computed but must not gate:
+	// the reports disagree on a field that makes the metric cross-machine
+	// (currently: time metrics when num_cpu differs). The numbers are shown,
+	// the ratio is real, but Failed() ignores it.
+	StatusInformational = "informational"
 )
 
 // Metric selects which per-scenario number Compare gates on.
@@ -53,6 +58,11 @@ type CompareResult struct {
 	// Missing are scenarios present in old but absent from new — a suite
 	// that silently shrank fails the gate.
 	Missing []string `json:"missing,omitempty"`
+	// SkippedScaling are scenarios present in old but absent from new whose
+	// worker width exceeds the new report's CPU count: the runner refuses to
+	// measure oversubscribed widths, so their absence is expected and does
+	// not gate.
+	SkippedScaling []string `json:"skipped_scaling,omitempty"`
 	// Added are scenarios new to this run; informational only.
 	Added []string `json:"added,omitempty"`
 }
@@ -74,6 +84,10 @@ func Compare(old, new *Report, metric Metric, threshold float64) *CompareResult 
 		metric = MetricTime
 	}
 	res := &CompareResult{Metric: metric, Threshold: threshold}
+	// Time is only comparable within one machine class. When the two reports
+	// were measured on different CPU counts every time delta is computed but
+	// downgraded to informational — visible, never gating.
+	envMismatch := metric == MetricTime && old.Env.NumCPU != new.Env.NumCPU
 	newByName := make(map[string]Scenario, len(new.Scenarios))
 	for _, s := range new.Scenarios {
 		newByName[s.Name] = s
@@ -83,10 +97,26 @@ func Compare(old, new *Report, metric Metric, threshold float64) *CompareResult 
 		oldNames[os.Name] = true
 		ns, ok := newByName[os.Name]
 		if !ok {
-			res.Missing = append(res.Missing, os.Name)
+			if w := ScalingWidth(os.Name); w > 0 && new.Env.NumCPU > 0 && w > new.Env.NumCPU {
+				res.SkippedScaling = append(res.SkippedScaling, os.Name)
+			} else {
+				res.Missing = append(res.Missing, os.Name)
+			}
 			continue
 		}
-		res.Deltas = append(res.Deltas, compareOne(os, ns, metric, threshold))
+		d := compareOne(os, ns, metric, threshold)
+		// A worker-scaling scenario wider than either machine's core count
+		// was oversubscribed when measured; its numbers say nothing about
+		// scaling and must not gate in either direction.
+		if w := ScalingWidth(os.Name); w > 0 && metric == MetricTime &&
+			(w > old.Env.NumCPU || w > new.Env.NumCPU) {
+			d.Status = StatusIncomparable
+			d.Reason = fmt.Sprintf("width %d exceeds num_cpu (old %d, new %d)", w, old.Env.NumCPU, new.Env.NumCPU)
+		} else if envMismatch && d.Status != StatusIncomparable {
+			d.Status = StatusInformational
+			d.Reason = fmt.Sprintf("num_cpu differs (old %d, new %d)", old.Env.NumCPU, new.Env.NumCPU)
+		}
+		res.Deltas = append(res.Deltas, d)
 	}
 	for _, s := range new.Scenarios {
 		if !oldNames[s.Name] {
@@ -183,6 +213,11 @@ func (c *CompareResult) WriteText(w io.Writer) error {
 	}
 	for _, name := range c.Missing {
 		if _, err := fmt.Fprintf(w, "%-40s MISSING from new report\n", name); err != nil {
+			return err
+		}
+	}
+	for _, name := range c.SkippedScaling {
+		if _, err := fmt.Fprintf(w, "%-40s skipped (width exceeds new report's num_cpu)\n", name); err != nil {
 			return err
 		}
 	}

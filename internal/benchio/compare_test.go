@@ -172,3 +172,89 @@ func TestCompareWriteText(t *testing.T) {
 		}
 	}
 }
+
+func TestCompareEnvMismatchDowngradesTime(t *testing.T) {
+	old := report(Scenario{Name: "k", NsPerOp: 100})
+	old.Env.NumCPU = 1
+	new := report(Scenario{Name: "k", NsPerOp: 300}) // 3× "slower" — but other machine
+	new.Env.NumCPU = 8
+	c := Compare(old, new, MetricTime, 0.40)
+	d := deltaFor(t, c, "k")
+	if d.Status != StatusInformational {
+		t.Fatalf("status = %q, want informational on num_cpu mismatch", d.Status)
+	}
+	if d.Ratio != 3 {
+		t.Fatalf("informational delta should keep the ratio, got %g", d.Ratio)
+	}
+	if c.Failed() {
+		t.Fatal("informational deltas must not gate")
+	}
+}
+
+func TestCompareEnvMismatchStillGatesAllocs(t *testing.T) {
+	old := report(Scenario{Name: "k", AllocsPerOp: 10})
+	old.Env.NumCPU = 1
+	new := report(Scenario{Name: "k", AllocsPerOp: 100})
+	new.Env.NumCPU = 8
+	c := Compare(old, new, MetricAllocs, 0.40)
+	if d := deltaFor(t, c, "k"); d.Status != StatusRegression {
+		t.Fatalf("status = %q; allocs are machine-independent and must still gate", d.Status)
+	}
+	if !c.Failed() {
+		t.Fatal("alloc regression must fail across machine classes")
+	}
+}
+
+func TestCompareOversubscribedScalingWidthIncomparable(t *testing.T) {
+	old := report(
+		Scenario{Name: "sim/figure1-small/workers=8", NsPerOp: 100},
+		Scenario{Name: "sim/figure1-small/workers=1", NsPerOp: 100},
+	)
+	old.Env.NumCPU = 1 // the corrupt-baseline shape: widths measured on one core
+	new := report(
+		Scenario{Name: "sim/figure1-small/workers=8", NsPerOp: 100},
+		Scenario{Name: "sim/figure1-small/workers=1", NsPerOp: 100},
+	)
+	new.Env.NumCPU = 8
+	c := Compare(old, new, MetricTime, 0.40)
+	d := deltaFor(t, c, "sim/figure1-small/workers=8")
+	if d.Status != StatusIncomparable {
+		t.Fatalf("status = %q, want incomparable for width 8 on a 1-CPU baseline", d.Status)
+	}
+	if !strings.Contains(d.Reason, "num_cpu") {
+		t.Fatalf("reason = %q", d.Reason)
+	}
+	// The width-1 scenario is not oversubscribed — plain env-mismatch rules.
+	if d := deltaFor(t, c, "sim/figure1-small/workers=1"); d.Status != StatusInformational {
+		t.Fatalf("workers=1 status = %q, want informational", d.Status)
+	}
+	if c.Failed() {
+		t.Fatal("neither incomparable nor informational deltas may gate")
+	}
+}
+
+func TestCompareMissingScalingScenarioExcusedOnNarrowMachine(t *testing.T) {
+	old := report(
+		Scenario{Name: "sim/figure1-small/workers=8", NsPerOp: 100},
+		Scenario{Name: "plain-kernel", NsPerOp: 100},
+	)
+	old.Env.NumCPU = 8
+	new := report(Scenario{Name: "plain-kernel", NsPerOp: 100})
+	new.Env.NumCPU = 4 // the runner refused to measure workers=8 here
+	c := Compare(old, new, MetricAllocs, 0.40)
+	if len(c.Missing) != 0 {
+		t.Fatalf("Missing = %v; an oversubscribed width is an expected skip", c.Missing)
+	}
+	if len(c.SkippedScaling) != 1 || c.SkippedScaling[0] != "sim/figure1-small/workers=8" {
+		t.Fatalf("SkippedScaling = %v", c.SkippedScaling)
+	}
+	if c.Failed() {
+		t.Fatal("an expected scaling skip must not fail the gate")
+	}
+	// A genuinely vanished scenario still gates.
+	new2 := report(Scenario{Name: "sim/figure1-small/workers=8", NsPerOp: 100})
+	new2.Env.NumCPU = 8
+	if c := Compare(old, new2, MetricAllocs, 0.40); !c.Failed() {
+		t.Fatal("a vanished non-scaling scenario must still fail the gate")
+	}
+}

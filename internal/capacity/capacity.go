@@ -95,7 +95,7 @@ func GreedyAffectanceCtx(ctx context.Context, m *network.Matrix, beta, tau float
 		if cand < 0 || cand >= m.N {
 			panic(fmt.Sprintf("capacity: link index %d out of range", cand))
 		}
-		if m.G[cand][cand] <= beta*m.Noise {
+		if m.Own(cand) <= beta*m.Noise {
 			continue // can never reach β, even alone
 		}
 		inbound := 0.0

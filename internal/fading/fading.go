@@ -56,16 +56,17 @@ func ExactSuccess(m *network.Matrix, q []float64, beta float64, i int) float64 {
 	if q[i] == 0 {
 		return 0
 	}
-	sii := m.G[i][i]
+	sii := m.Own(i)
 	if sii == 0 {
 		return 0
 	}
+	row := m.Incoming(i)
 	p := q[i] * math.Exp(-beta*m.Noise/sii)
 	for j := 0; j < m.N; j++ {
 		if j == i || q[j] == 0 {
 			continue
 		}
-		sji := m.G[j][i]
+		sji := row[j]
 		if sji == 0 {
 			continue
 		}
@@ -84,16 +85,17 @@ func ExactSuccessLog(m *network.Matrix, q []float64, beta float64, i int) float6
 	if beta <= 0 {
 		panic(fmt.Sprintf("fading: threshold β = %g must be positive", beta))
 	}
-	if q[i] == 0 || m.G[i][i] == 0 {
+	if q[i] == 0 || m.Own(i) == 0 {
 		return math.Inf(-1)
 	}
-	sii := m.G[i][i]
+	sii := m.Own(i)
+	row := m.Incoming(i)
 	logp := math.Log(q[i]) - beta*m.Noise/sii
 	for j := 0; j < m.N; j++ {
 		if j == i || q[j] == 0 {
 			continue
 		}
-		sji := m.G[j][i]
+		sji := row[j]
 		if sji == 0 {
 			continue
 		}
@@ -125,14 +127,15 @@ func ExactSuccessEnumerated(m *network.Matrix, q []float64, beta float64, i int)
 	if m.N > 25 {
 		panic(fmt.Sprintf("fading: enumeration limited to n ≤ 25, got %d", m.N))
 	}
-	if q[i] == 0 || m.G[i][i] == 0 {
+	if q[i] == 0 || m.Own(i) == 0 {
 		return 0
 	}
-	sii := m.G[i][i]
+	sii := m.Own(i)
+	row := m.Incoming(i)
 	// Collect the interferers that can actually transmit and interfere.
 	var others []int
 	for j := 0; j < m.N; j++ {
-		if j != i && q[j] > 0 && m.G[j][i] > 0 {
+		if j != i && q[j] > 0 && row[j] > 0 {
 			others = append(others, j)
 		}
 	}
@@ -144,7 +147,7 @@ func ExactSuccessEnumerated(m *network.Matrix, q []float64, beta float64, i int)
 		for b, j := range others {
 			if mask&(1<<b) != 0 {
 				weight *= q[j]
-				cond *= 1 / (1 + beta*m.G[j][i]/sii)
+				cond *= 1 / (1 + beta*row[j]/sii)
 			} else {
 				weight *= 1 - q[j]
 			}
@@ -159,17 +162,18 @@ func ExactSuccessEnumerated(m *network.Matrix, q []float64, beta float64, i int)
 //	q_i · exp(−(β/S̄(i,i)) · (ν + Σ_{j≠i} S̄(j,i)·q_j)).
 func LowerBound(m *network.Matrix, q []float64, beta float64, i int) float64 {
 	checkProbs(m, q)
-	sii := m.G[i][i]
+	sii := m.Own(i)
 	if q[i] == 0 {
 		return 0
 	}
 	if sii == 0 {
 		return 0
 	}
+	row := m.Incoming(i)
 	sum := m.Noise
 	for j := 0; j < m.N; j++ {
 		if j != i {
-			sum += m.G[j][i] * q[j]
+			sum += row[j] * q[j]
 		}
 	}
 	return q[i] * math.Exp(-beta*sum/sii)
@@ -180,19 +184,20 @@ func LowerBound(m *network.Matrix, q []float64, beta float64, i int) float64 {
 //	q_i · exp(−βν/S̄(i,i) − Σ_{j≠i} min{1/2, β·S̄(j,i)/(2·S̄(i,i))}·q_j).
 func UpperBound(m *network.Matrix, q []float64, beta float64, i int) float64 {
 	checkProbs(m, q)
-	sii := m.G[i][i]
+	sii := m.Own(i)
 	if q[i] == 0 {
 		return 0
 	}
 	if sii == 0 {
 		return 0
 	}
+	row := m.Incoming(i)
 	expo := -beta * m.Noise / sii
 	for j := 0; j < m.N; j++ {
 		if j == i {
 			continue
 		}
-		expo -= math.Min(0.5, beta*m.G[j][i]/(2*sii)) * q[j]
+		expo -= math.Min(0.5, beta*row[j]/(2*sii)) * q[j]
 	}
 	return q[i] * math.Exp(expo)
 }
@@ -202,7 +207,8 @@ func UpperBound(m *network.Matrix, q []float64, beta float64, i int) float64 {
 // (where the level k of Algorithm 1 is chosen with b_k ≈ exp(A_i/2)).
 func InterferenceSum(m *network.Matrix, q []float64, beta float64, i int) float64 {
 	checkProbs(m, q)
-	sii := m.G[i][i]
+	sii := m.Own(i)
+	row := m.Incoming(i)
 	sum := 0.0
 	for j := 0; j < m.N; j++ {
 		if j == i {
@@ -212,7 +218,7 @@ func InterferenceSum(m *network.Matrix, q []float64, beta float64, i int) float6
 		if sii == 0 {
 			ratio = 1
 		} else {
-			ratio = math.Min(1, beta*m.G[j][i]/sii)
+			ratio = math.Min(1, beta*row[j]/sii)
 		}
 		sum += ratio * q[j]
 	}
@@ -311,11 +317,15 @@ func SampleSINRsInto(m *network.Matrix, active []bool, src *rng.Source, out []fl
 	for i := range out {
 		out[i] = 0
 	}
+	// Receiver-major layout: the inner loop reads row = Incoming(i)
+	// contiguously at the active sender indices, in the same (i, j) order the
+	// stream has always been consumed — cache-linear with identical draws.
 	for _, i := range idx {
+		row := m.Incoming(i)
 		interf := m.Noise
 		var own float64
 		for _, j := range idx {
-			s := src.Exp(m.G[j][i])
+			s := src.Exp(row[j])
 			if j == i {
 				own = s
 			} else {

@@ -385,7 +385,7 @@ func TestUpperBoundViaInterferenceSum(t *testing.T) {
 	beta := 2.5
 	for i := 0; i < m.N; i++ {
 		ai := InterferenceSum(m, q, beta, i)
-		sii := m.G[i][i]
+		sii := m.Own(i)
 		bound := q[i] * math.Exp(-beta*m.Noise/sii-ai/2)
 		if p := ExactSuccess(m, q, beta, i); p > bound+1e-12 {
 			t.Fatalf("link %d: Q = %g exceeds A_i-form bound %g", i, p, bound)

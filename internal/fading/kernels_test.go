@@ -24,7 +24,7 @@ func referenceSampleSINRs(m *network.Matrix, active []bool, src *rng.Source) []f
 			if !active[j] {
 				continue
 			}
-			s := src.Exp(m.G[j][i])
+			s := src.Exp(m.At(j, i))
 			if j == i {
 				own = s
 			} else {
@@ -160,6 +160,15 @@ func TestKernelsAllocationFree(t *testing.T) {
 		SampleSINRsWithInto(m, active, RayleighGains{}, src, vals, idx)
 	}); allocs != 0 {
 		t.Errorf("SampleSINRsWithInto allocates %.1f objects per run", allocs)
+	}
+	// The closed-form evaluator is part of the kernel layer's zero-alloc
+	// contract too: the benchmark suite pins fading/expected-successes-100 at
+	// exactly 0 allocs/op, so any stray allocation on this path is a bug.
+	q := UniformProbs(100, 0.3)
+	if allocs := testing.AllocsPerRun(50, func() {
+		ExpectedSuccessesExact(m, q, 2.5)
+	}); allocs != 0 {
+		t.Errorf("ExpectedSuccessesExact allocates %.1f objects per run", allocs)
 	}
 }
 

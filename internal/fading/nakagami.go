@@ -84,10 +84,11 @@ func SampleSINRsWithInto(m *network.Matrix, active []bool, sampler GainSampler, 
 		out[i] = 0
 	}
 	for _, i := range idx {
+		row := m.Incoming(i)
 		interf := m.Noise
 		var own float64
 		for _, j := range idx {
-			s := sampler.SampleGain(m.G[j][i], src)
+			s := sampler.SampleGain(row[j], src)
 			if j == i {
 				own = s
 			} else {

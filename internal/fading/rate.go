@@ -36,15 +36,16 @@ var ErrInfiniteRate = fmt.Errorf("fading: expected Shannon rate is infinite (zer
 // estimation. tol ≤ 0 selects the quadrature default.
 func ExpectedShannonExact(m *network.Matrix, q []float64, i int, tol float64) (float64, error) {
 	checkProbs(m, q)
-	if q[i] == 0 || m.G[i][i] == 0 {
+	if q[i] == 0 || m.Own(i) == 0 {
 		return 0, nil
 	}
 	if m.Noise == 0 {
 		// If with positive probability no interferer transmits (or none
 		// has positive gain), the SINR is +∞ with that probability.
 		silence := q[i]
+		row := m.Incoming(i)
 		for j := 0; j < m.N; j++ {
-			if j != i && q[j] > 0 && m.G[j][i] > 0 {
+			if j != i && q[j] > 0 && row[j] > 0 {
 				silence *= 1 - q[j]
 			}
 		}

@@ -134,7 +134,7 @@ func greedyRestricted(m *network.Matrix, beta, tau float64, scan []int) []int {
 	var selected []int
 	load := map[int]float64{}
 	for _, cand := range scan {
-		if m.G[cand][cand] <= beta*m.Noise || m.G[cand][cand] == 0 {
+		if m.Own(cand) <= beta*m.Noise || m.Own(cand) == 0 {
 			continue
 		}
 		inbound := 0.0
@@ -185,7 +185,7 @@ func RepeatedCapacityCtx(ctx context.Context, m *network.Matrix, beta float64, c
 	}()
 	remaining := make([]int, 0, m.N)
 	for i := 0; i < m.N; i++ {
-		if m.G[i][i] < beta*m.Noise || m.G[i][i] == 0 {
+		if m.Own(i) < beta*m.Noise || m.Own(i) == 0 {
 			return nil, fmt.Errorf("%w: link %d", ErrUnschedulable, i)
 		}
 		remaining = append(remaining, i)

@@ -43,7 +43,7 @@ func TestRoundTrip(t *testing.T) {
 	a, b := orig.Gains(), loaded.Gains()
 	for j := 0; j < a.N; j++ {
 		for i := 0; i < a.N; i++ {
-			if a.G[j][i] != b.G[j][i] {
+			if a.At(j, i) != b.At(j, i) {
 				t.Fatalf("gain (%d,%d) differs after round trip", j, i)
 			}
 		}

@@ -113,45 +113,119 @@ func (n *Network) Clone() *Network {
 	return &c
 }
 
-// Matrix is the n×n matrix of expected received signal strengths:
-// Matrix.G[j][i] = S̄(j,i), the mean strength of sender j's signal at
-// receiver i. Row index = sender, column index = receiver, matching the
-// paper's subscript order S̄_{j,i}.
+// Matrix is the n×n table of expected received signal strengths S̄(j,i) in
+// structure-of-arrays form: one flat, receiver-major float64 slice plus a
+// cached diagonal. Entry (j,i) — sender j's mean strength at receiver i,
+// the paper's S̄_{j,i} — is read with At(j, i); the gains arriving at one
+// receiver are contiguous in memory, so the SINR inner loops (sum over
+// senders j at a fixed receiver i) walk a cache-linear slice obtained with
+// Incoming(i) instead of striding across rows of a [][]float64.
 type Matrix struct {
 	N     int
-	G     [][]float64
 	Noise float64
 	// Weights carries the links' weights so that algorithms operating
 	// purely on the matrix can still optimize weighted objectives.
 	Weights []float64
+	// in is the receiver-major backing: in[i*N+j] = S̄(j,i).
+	in []float64
+	// own caches the diagonal: own[i] = S̄(i,i), the expected own-signal
+	// strength every feasibility and affectance check starts from.
+	own []float64
 }
 
-// Gains computes the expected-strength matrix of the network:
-// G[j][i] = p_j / d(s_j, r_i)^α.
-func (n *Network) Gains() *Matrix {
-	size := len(n.Links)
+// newMatrix allocates an all-zero n×n matrix with unit weights.
+func newMatrix(n int, noise float64) *Matrix {
 	m := &Matrix{
-		N:       size,
-		G:       make([][]float64, size),
-		Noise:   n.Noise,
-		Weights: make([]float64, size),
+		N:       n,
+		Noise:   noise,
+		Weights: make([]float64, n),
+		in:      make([]float64, n*n),
+		own:     make([]float64, n),
 	}
-	backing := make([]float64, size*size)
-	for j := range m.G {
-		m.G[j], backing = backing[:size], backing[size:]
-		pj := n.Links[j].Power
-		for i := 0; i < size; i++ {
-			d := n.Metric.Dist(n.Links[j].Sender, n.Links[i].Receiver)
-			m.G[j][i] = pj * geom.PathLoss(d, n.Alpha)
-		}
+	for i := range m.Weights {
+		m.Weights[i] = 1
+	}
+	return m
+}
+
+// At returns S̄(j,i), the mean strength of sender j's signal at receiver i.
+func (m *Matrix) At(j, i int) float64 { return m.in[i*m.N+j] }
+
+// Own returns S̄(i,i), the expected own-signal strength of link i.
+func (m *Matrix) Own(i int) float64 { return m.own[i] }
+
+// Incoming returns the contiguous slice of gains arriving at receiver i:
+// Incoming(i)[j] = S̄(j,i). It is a live view into the matrix backing (not a
+// copy) — the allocation-free contract of the sampling and SINR kernels
+// depends on that — so callers must not grow or retain it across mutations.
+func (m *Matrix) Incoming(i int) []float64 { return m.in[i*m.N : (i+1)*m.N] }
+
+// SetGain sets S̄(j,i), keeping the diagonal cache coherent. Construction
+// and test injection go through here; hot paths only read.
+func (m *Matrix) SetGain(j, i int, v float64) {
+	m.in[i*m.N+j] = v
+	if j == i {
+		m.own[i] = v
+	}
+}
+
+// LinkArrays is the structure-of-arrays view of a network's links: parallel
+// slices indexed by link, each contiguous in memory. Gains builds one per
+// topology so the O(n²) gain fill streams through positions and powers
+// linearly instead of hopping across Link structs.
+type LinkArrays struct {
+	SenderX, SenderY     []float64
+	ReceiverX, ReceiverY []float64
+	Power                []float64
+	Weight               []float64
+}
+
+// Arrays decomposes the links into their structure-of-arrays form. Weights
+// of zero are normalized to 1, matching the Matrix convention.
+func (n *Network) Arrays() *LinkArrays {
+	size := len(n.Links)
+	backing := make([]float64, 6*size)
+	a := &LinkArrays{
+		SenderX:   backing[0*size : 1*size],
+		SenderY:   backing[1*size : 2*size],
+		ReceiverX: backing[2*size : 3*size],
+		ReceiverY: backing[3*size : 4*size],
+		Power:     backing[4*size : 5*size],
+		Weight:    backing[5*size : 6*size],
 	}
 	for i, l := range n.Links {
+		a.SenderX[i], a.SenderY[i] = l.Sender.X, l.Sender.Y
+		a.ReceiverX[i], a.ReceiverY[i] = l.Receiver.X, l.Receiver.Y
+		a.Power[i] = l.Power
 		w := l.Weight
 		if w == 0 {
 			w = 1
 		}
-		m.Weights[i] = w
+		a.Weight[i] = w
 	}
+	return a
+}
+
+// Gains computes the expected-strength matrix of the network:
+// S̄(j,i) = p_j / d(s_j, r_i)^α, laid out receiver-major so each receiver's
+// incoming gains are contiguous. The fill iterates receivers in the outer
+// loop and streams the sender arrays in the inner loop; the per-entry
+// arithmetic (power times PathLoss of the metric distance) is unchanged, so
+// every entry is bit-identical to the historical row-major construction.
+func (n *Network) Gains() *Matrix {
+	size := len(n.Links)
+	m := newMatrix(size, n.Noise)
+	a := n.Arrays()
+	for i := 0; i < size; i++ {
+		row := m.in[i*size : (i+1)*size]
+		recv := geom.Point{X: a.ReceiverX[i], Y: a.ReceiverY[i]}
+		for j := 0; j < size; j++ {
+			d := n.Metric.Dist(geom.Point{X: a.SenderX[j], Y: a.SenderY[j]}, recv)
+			row[j] = a.Power[j] * geom.PathLoss(d, n.Alpha)
+		}
+		m.own[i] = row[i]
+	}
+	copy(m.Weights, a.Weight)
 	return m
 }
 
@@ -164,7 +238,10 @@ func NewMatrix(g [][]float64, noise float64) (*Matrix, error) {
 	if n == 0 {
 		return nil, errors.New("network: empty gain matrix")
 	}
-	m := &Matrix{N: n, G: make([][]float64, n), Noise: noise, Weights: make([]float64, n)}
+	if noise < 0 || math.IsNaN(noise) || math.IsInf(noise, 0) {
+		return nil, fmt.Errorf("network: invalid noise %g", noise)
+	}
+	m := newMatrix(n, noise)
 	for j, row := range g {
 		if len(row) != n {
 			return nil, fmt.Errorf("network: gain row %d has length %d, want %d", j, len(row), n)
@@ -173,31 +250,26 @@ func NewMatrix(g [][]float64, noise float64) (*Matrix, error) {
 			if v < 0 || math.IsNaN(v) {
 				return nil, fmt.Errorf("network: gain G[%d][%d] = %g invalid", j, i, v)
 			}
+			m.SetGain(j, i, v)
 		}
-		m.G[j] = append([]float64(nil), row...)
-	}
-	if noise < 0 || math.IsNaN(noise) || math.IsInf(noise, 0) {
-		return nil, fmt.Errorf("network: invalid noise %g", noise)
-	}
-	for i := range m.Weights {
-		m.Weights[i] = 1
 	}
 	return m, nil
 }
 
 // Validate checks the matrix for NaN, negative entries, and shape errors.
 func (m *Matrix) Validate() error {
-	if m.N == 0 || len(m.G) != m.N {
-		return fmt.Errorf("network: matrix shape N=%d rows=%d", m.N, len(m.G))
+	if m.N == 0 || len(m.in) != m.N*m.N || len(m.own) != m.N {
+		return fmt.Errorf("network: matrix shape N=%d backing=%d diag=%d", m.N, len(m.in), len(m.own))
 	}
-	for j, row := range m.G {
-		if len(row) != m.N {
-			return fmt.Errorf("network: row %d has length %d", j, len(row))
-		}
-		for i, v := range row {
+	for i := 0; i < m.N; i++ {
+		row := m.Incoming(i)
+		for j, v := range row {
 			if v < 0 || math.IsNaN(v) {
 				return fmt.Errorf("network: G[%d][%d] = %g invalid", j, i, v)
 			}
+		}
+		if m.own[i] != row[i] {
+			return fmt.Errorf("network: diagonal cache stale at link %d (%g != %g)", i, m.own[i], row[i])
 		}
 	}
 	if m.Noise < 0 {

@@ -59,18 +59,25 @@ func TestGains(t *testing.T) {
 		t.Fatalf("N = %d", m.N)
 	}
 	// Own-signal gains: distance 1, power 1, α=2 → 1.
-	if m.G[0][0] != 1 || m.G[1][1] != 1 {
-		t.Fatalf("diagonal gains = %g, %g", m.G[0][0], m.G[1][1])
+	if m.At(0, 0) != 1 || m.At(1, 1) != 1 {
+		t.Fatalf("diagonal gains = %g, %g", m.At(0, 0), m.At(1, 1))
+	}
+	if m.Own(0) != 1 || m.Own(1) != 1 {
+		t.Fatalf("Own diagonal cache = %g, %g", m.Own(0), m.Own(1))
 	}
 	// Cross gain sender 0 → receiver 1: distance 11.
 	want := math.Pow(11, -2)
-	if math.Abs(m.G[0][1]-want) > 1e-15 {
-		t.Fatalf("G[0][1] = %g, want %g", m.G[0][1], want)
+	if math.Abs(m.At(0, 1)-want) > 1e-15 {
+		t.Fatalf("At(0,1) = %g, want %g", m.At(0, 1), want)
 	}
 	// Cross gain sender 1 → receiver 0: distance 9.
 	want = math.Pow(9, -2)
-	if math.Abs(m.G[1][0]-want) > 1e-15 {
-		t.Fatalf("G[1][0] = %g, want %g", m.G[1][0], want)
+	if math.Abs(m.At(1, 0)-want) > 1e-15 {
+		t.Fatalf("At(1,0) = %g, want %g", m.At(1, 0), want)
+	}
+	// Incoming(i) is the receiver-major row: Incoming(i)[j] == At(j, i).
+	if in := m.Incoming(0); in[0] != m.At(0, 0) || in[1] != m.At(1, 0) {
+		t.Fatalf("Incoming(0) = %v", in)
 	}
 	if m.Noise != 0.01 {
 		t.Fatalf("Noise = %g", m.Noise)
@@ -84,12 +91,12 @@ func TestGainsScaleWithPower(t *testing.T) {
 	n := twoLinkNet()
 	n.Links[0].Power = 5
 	m := n.Gains()
-	if m.G[0][0] != 5 {
-		t.Fatalf("G[0][0] = %g, want 5", m.G[0][0])
+	if m.At(0, 0) != 5 {
+		t.Fatalf("At(0,0) = %g, want 5", m.At(0, 0))
 	}
 	// Receiver-side gains of sender 1 unaffected.
-	if m.G[1][1] != 1 {
-		t.Fatalf("G[1][1] = %g", m.G[1][1])
+	if m.At(1, 1) != 1 {
+		t.Fatalf("At(1,1) = %g", m.At(1, 1))
 	}
 }
 
@@ -106,7 +113,7 @@ func TestNewMatrix(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if m.N != 2 || m.G[1][0] != 0.25 {
+	if m.N != 2 || m.At(1, 0) != 0.25 {
 		t.Fatalf("matrix = %+v", m)
 	}
 	if err := m.Validate(); err != nil {
@@ -134,7 +141,7 @@ func TestNewMatrixRejectsBadInput(t *testing.T) {
 
 func TestMatrixValidateCatchesCorruption(t *testing.T) {
 	m, _ := NewMatrix([][]float64{{1, 1}, {1, 1}}, 0)
-	m.G[0][1] = math.NaN()
+	m.SetGain(0, 1, math.NaN())
 	if err := m.Validate(); err == nil {
 		t.Error("NaN not caught")
 	}
@@ -182,8 +189,8 @@ func TestLinearPowerEqualizesReceivedStrength(t *testing.T) {
 	}
 	m := n.Gains()
 	for i := 0; i < m.N; i++ {
-		if math.Abs(m.G[i][i]-7) > 1e-9 {
-			t.Fatalf("link %d received strength %g, want 7", i, m.G[i][i])
+		if math.Abs(m.Own(i)-7) > 1e-9 {
+			t.Fatalf("link %d received strength %g, want 7", i, m.Own(i))
 		}
 	}
 }
@@ -379,7 +386,7 @@ func TestQuickGainsWellFormed(t *testing.T) {
 		}
 		for j := 0; j < m.N; j++ {
 			for i := 0; i < m.N; i++ {
-				v := m.G[j][i]
+				v := m.At(j, i)
 				if !(v > 0) || math.IsInf(v, 0) {
 					return false
 				}
@@ -406,7 +413,7 @@ func TestDiagonalTypicallyDominates(t *testing.T) {
 	dominated := 0
 	for i := 0; i < m.N; i++ {
 		for j := 0; j < m.N; j++ {
-			if j != i && m.G[j][i] > m.G[i][i] {
+			if j != i && m.At(j, i) > m.Own(i) {
 				dominated++
 			}
 		}

@@ -52,12 +52,12 @@ func BruteForce(m *network.Matrix, beta float64) []int {
 		order[i] = i
 	}
 	sort.SliceStable(order, func(a, b int) bool {
-		return m.G[order[a]][order[a]] > m.G[order[b]][order[b]]
+		return m.Own(order[a]) > m.Own(order[b])
 	})
 	// Pre-drop links that cannot succeed even alone.
 	viable := order[:0]
 	for _, i := range order {
-		if m.G[i][i] >= beta*m.Noise && m.G[i][i] > 0 {
+		if m.Own(i) >= beta*m.Noise && m.Own(i) > 0 {
 			viable = append(viable, i)
 		}
 	}
@@ -128,7 +128,7 @@ func BruteForceWeighted(m *network.Matrix, beta float64) (best []int, bestWeight
 	}
 	order := make([]int, 0, m.N)
 	for i := 0; i < m.N; i++ {
-		if m.Weights[i] > 0 && m.G[i][i] >= beta*m.Noise && m.G[i][i] > 0 {
+		if m.Weights[i] > 0 && m.Own(i) >= beta*m.Noise && m.Own(i) > 0 {
 			order = append(order, i)
 		}
 	}
@@ -242,7 +242,7 @@ func randomizedGreedy(m *network.Matrix, beta float64, src *rng.Source) []int {
 	// Bias: sort by own gain with random tie-ish jitter — shuffle then
 	// stable-sort by a coarse bucket of own gain, keeping diversity.
 	sort.SliceStable(order, func(a, b int) bool {
-		ga, gb := m.G[order[a]][order[a]], m.G[order[b]][order[b]]
+		ga, gb := m.Own(order[a]), m.Own(order[b])
 		return ga > gb*(1+0.2*src.Float64())
 	})
 	acc := newLoadSet(m, beta)
@@ -320,7 +320,7 @@ func (l *loadSet) tryAdd(cand int) bool {
 	if l.in[cand] {
 		return false
 	}
-	if l.m.G[cand][cand] <= l.beta*l.m.Noise || l.m.G[cand][cand] == 0 {
+	if l.m.Own(cand) <= l.beta*l.m.Noise || l.m.Own(cand) == 0 {
 		return false
 	}
 	inbound := 0.0

@@ -265,18 +265,19 @@ func (h *History) SendProbSeries() []float64 {
 func (g *Game) counterfactualSuccess(sent []bool, i int) bool {
 	interf := g.m.Noise
 	var own float64
+	row := g.m.Incoming(i)
 	if g.model == Rayleigh {
-		own = g.src.Exp(g.m.G[i][i])
+		own = g.src.Exp(row[i])
 		for j, s := range sent {
 			if s && j != i {
-				interf += g.src.Exp(g.m.G[j][i])
+				interf += g.src.Exp(row[j])
 			}
 		}
 	} else {
-		own = g.m.G[i][i]
+		own = row[i]
 		for j, s := range sent {
 			if s && j != i {
-				interf += g.m.G[j][i]
+				interf += row[j]
 			}
 		}
 	}

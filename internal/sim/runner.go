@@ -143,28 +143,35 @@ func ParallelCtx[T any](ctx context.Context, reps, workers int, base *rng.Source
 		}
 		return results, nil
 	}
-	var wg sync.WaitGroup
-	jobs := make(chan int)
+	// Workers claim replication indices with a lock-free fetch-add instead of
+	// receiving them from a dispatcher goroutine. The previous unbuffered
+	// job channel forced a two-way scheduler rendezvous per replication
+	// (worker wakes dispatcher, dispatcher wakes worker), which serialized
+	// dispatch and flattened scaling once replication bodies got cheap; a
+	// fetch-add claim is a single uncontended cache-line bump. Cancellation
+	// is polled before each claim, preserving the "no further replications
+	// are started" contract at the same granularity as before.
+	var (
+		wg   sync.WaitGroup
+		next atomic.Int64
+	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for r := range jobs {
+			for {
+				if ctx.Err() != nil {
+					return
+				}
+				r := int(next.Add(1)) - 1
+				if r >= reps {
+					return
+				}
 				results[r] = runOne(r, srcs[r])
 				t.ReplicationDone()
 			}
 		}()
 	}
-	done := ctx.Done()
-dispatch:
-	for r := 0; r < reps; r++ {
-		select {
-		case jobs <- r:
-		case <-done:
-			break dispatch
-		}
-	}
-	close(jobs)
 	wg.Wait()
 	return results, ctx.Err()
 }

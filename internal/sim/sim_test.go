@@ -117,8 +117,8 @@ func TestRunFigure1Deterministic(t *testing.T) {
 	// series merge in replication order, so the result must be bit-identical
 	// for any worker count — including the default (all cores).
 	base := smallFig1()
-	results := make([]*Figure1Result, 0, 3)
-	for _, workers := range []int{1, 8, 0} {
+	results := make([]*Figure1Result, 0, 4)
+	for _, workers := range []int{1, 4, 8, 0} {
 		cfg := base
 		cfg.Workers = workers
 		results = append(results, RunFigure1(cfg))
@@ -127,9 +127,16 @@ func TestRunFigure1Deterministic(t *testing.T) {
 	for _, b := range results[1:] {
 		for _, name := range a.CurveNames() {
 			am, bm := a.Curves[name].Means(), b.Curves[name].Means()
+			as, bs := a.Curves[name].StdErrs(), b.Curves[name].StdErrs()
 			for i := range am {
 				if am[i] != bm[i] {
 					t.Fatalf("%s point %d differs across worker counts: %g vs %g", name, i, am[i], bm[i])
+				}
+				// The structure-of-arrays gain matrix must not perturb the
+				// accumulation order either: second moments are as sensitive
+				// to reordering as means, so pin them too.
+				if as[i] != bs[i] {
+					t.Fatalf("%s point %d stderr differs across worker counts: %g vs %g", name, i, as[i], bs[i])
 				}
 			}
 		}

@@ -27,16 +27,17 @@ func Value(m *network.Matrix, active []bool, i int) float64 {
 	if !active[i] {
 		return 0
 	}
+	in := m.Incoming(i)
 	interf := m.Noise
 	for j := range active {
 		if j != i && active[j] {
-			interf += m.G[j][i]
+			interf += in[j]
 		}
 	}
 	if interf == 0 {
 		return math.Inf(1)
 	}
-	return m.G[i][i] / interf
+	return in[i] / interf
 }
 
 // Values returns the SINR of every link under the given activity vector;
@@ -55,20 +56,24 @@ func ValuesInto(m *network.Matrix, active []bool, out []float64) []float64 {
 	for i := range out {
 		out[i] = 0
 	}
+	// Receiver-major layout: the interference sum for receiver i reads the
+	// contiguous Incoming(i) slice front to back, in the same j order as
+	// always — cache-linear without reordering a single addition.
 	for i := 0; i < m.N; i++ {
 		if !active[i] {
 			continue
 		}
+		in := m.Incoming(i)
 		interf := m.Noise
 		for j := 0; j < m.N; j++ {
 			if j != i && active[j] {
-				interf += m.G[j][i]
+				interf += in[j]
 			}
 		}
 		if interf == 0 {
 			out[i] = math.Inf(1)
 		} else {
-			out[i] = m.G[i][i] / interf
+			out[i] = in[i] / interf
 		}
 	}
 	return out
@@ -156,11 +161,11 @@ func Affectance(m *network.Matrix, beta float64, j, i int) float64 {
 	if j == i {
 		return 0
 	}
-	margin := m.G[i][i] - beta*m.Noise
+	margin := m.Own(i) - beta*m.Noise
 	if margin <= 0 {
 		return 1
 	}
-	a := beta * m.G[j][i] / margin
+	a := beta * m.At(j, i) / margin
 	if a > 1 {
 		return 1
 	}
@@ -176,14 +181,14 @@ func AffectanceUncapped(m *network.Matrix, beta float64, j, i int) float64 {
 	if j == i {
 		return 0
 	}
-	margin := m.G[i][i] - beta*m.Noise
+	margin := m.Own(i) - beta*m.Noise
 	if margin <= 0 {
-		if beta*m.G[j][i] == 0 {
+		if beta*m.At(j, i) == 0 {
 			return 0
 		}
 		return math.Inf(1)
 	}
-	return beta * m.G[j][i] / margin
+	return beta * m.At(j, i) / margin
 }
 
 // AffectanceSum returns Σ_{j ∈ set} a(j,i), the total capped affectance of a
@@ -203,7 +208,7 @@ func AffectanceSum(m *network.Matrix, beta float64, set []int, i int) float64 {
 // reason in affectance space.
 func FeasibleByAffectance(m *network.Matrix, set []int, beta float64) bool {
 	for _, i := range set {
-		if m.G[i][i] < beta*m.Noise {
+		if m.Own(i) < beta*m.Noise {
 			return false // noise alone already defeats link i
 		}
 		sum := 0.0
@@ -246,8 +251,11 @@ func (a *Accumulator) Add(j int) {
 	}
 	a.active[j] = true
 	a.count++
+	// Sender-indexed update over a receiver-major matrix: a stride-N walk.
+	// The accumulator serves the incremental partitioning passes, whose cost
+	// is dominated by the repeated SINR probes, not these O(n) updates.
 	for i := 0; i < a.m.N; i++ {
-		a.interf[i] += a.m.G[j][i]
+		a.interf[i] += a.m.At(j, i)
 	}
 }
 
@@ -259,7 +267,7 @@ func (a *Accumulator) Remove(j int) {
 	a.active[j] = false
 	a.count--
 	for i := 0; i < a.m.N; i++ {
-		a.interf[i] -= a.m.G[j][i]
+		a.interf[i] -= a.m.At(j, i)
 	}
 }
 
@@ -275,7 +283,7 @@ func (a *Accumulator) Count() int { return a.count }
 func (a *Accumulator) SINR(i int) float64 {
 	interf := a.interf[i] + a.m.Noise
 	if a.active[i] {
-		interf -= a.m.G[i][i]
+		interf -= a.m.Own(i)
 	}
 	// Guard against cancellation leaving a tiny negative residue.
 	if interf < 0 {
@@ -284,7 +292,7 @@ func (a *Accumulator) SINR(i int) float64 {
 	if interf == 0 {
 		return math.Inf(1)
 	}
-	return a.m.G[i][i] / interf
+	return a.m.Own(i) / interf
 }
 
 // AllFeasible reports whether every currently active link reaches β.
