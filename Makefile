@@ -3,7 +3,7 @@
 GO ?= go
 LABEL ?= local
 
-.PHONY: all build vet test race bench bench-json bench-compare golden golden-check trace-smoke chaos cover figures results serve fuzz clean
+.PHONY: all build vet test race bench bench-json bench-compare golden golden-check trace-smoke chaos cluster cover figures results serve fuzz clean
 
 all: build vet test
 
@@ -68,6 +68,12 @@ chaos:
 	$(GO) run ./cmd/raysched figure1 -networks 4 -links 16 -txseeds 2 -fadeseeds 2 -points 3 \
 		-checkpoint /tmp/chaos-fig1.ckpt > /dev/null
 	rm -f /tmp/chaos-fig1.ckpt
+
+# Distributed smoke: three local rayschedd workers, one SIGKILL'd mid-shard;
+# the coordinator must reassign the lost shard and the merged CSV must be
+# byte-identical to a single-node run (cmp, no tolerance).
+cluster:
+	bash scripts/cluster-smoke.sh
 
 cover:
 	$(GO) test -cover ./...

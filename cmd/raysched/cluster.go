@@ -1,0 +1,196 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"rayfade/internal/client"
+	"rayfade/internal/dist"
+	"rayfade/internal/obs"
+	"rayfade/internal/progress"
+	"rayfade/internal/server"
+	"rayfade/internal/sim"
+)
+
+// cmdCluster runs Figure 1 distributed across a set of rayschedd workers:
+// the coordinator shards the replication index space, dispatches shards over
+// POST /v1/shard with lease-based reassignment, merges the results into a
+// checkpoint, and replays it through the exact single-node pipeline — so the
+// output is byte-identical to `raysched figure1` with the same parameters.
+func cmdCluster(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("cluster", flag.ExitOnError)
+	workersFlag := fs.String("workers", "", "comma-separated rayschedd base URLs (required), e.g. http://10.0.0.1:8080,http://10.0.0.2:8080")
+	networks := fs.Int("networks", 40, "number of random networks")
+	links := fs.Int("links", 100, "links per network")
+	txSeeds := fs.Int("txseeds", 25, "transmit-set draws per probability")
+	fdSeeds := fs.Int("fadeseeds", 10, "fading draws per transmit set")
+	points := fs.Int("points", 20, "probability grid points")
+	seed := fs.Uint64("seed", 1, "master seed")
+	topology := fs.String("topology", "uniform", "receiver deployment: uniform or cluster")
+	shardSize := fs.Int("shard-size", 0, "replications per shard (0 = about four waves per worker)")
+	lease := fs.Duration("lease", 2*time.Minute, "per-dispatch lease; a worker missing its lease has the shard reassigned")
+	maxAttempts := fs.Int("max-attempts", 4, "dispatch attempts per shard across all workers before the run aborts")
+	deadAfter := fs.Int("dead-after", 2, "consecutive failures after which a worker is abandoned")
+	format := fs.String("format", "md", "output format: csv, md, ascii, svg")
+	out := fs.String("out", "", "write CSV output atomically to this file instead of stdout (implies -format csv)")
+	mergedCk := fs.String("merged-checkpoint", "", "keep the merged checkpoint at this path (default: a temp file, removed afterwards)")
+	prog := fs.Bool("progress", false, "report cluster-wide progress to stderr")
+	of := registerObsFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	workers := splitWorkers(*workersFlag)
+	if len(workers) == 0 {
+		return fmt.Errorf("cluster: -workers is required (comma-separated rayschedd URLs)")
+	}
+	ctx, obsDone, err := of.start(ctx)
+	if err != nil {
+		return err
+	}
+	err = runCluster(ctx, of, clusterParams{
+		workers: workers,
+		wire: server.Figure1ShardConfig{
+			Networks: *networks, Links: *links,
+			TransmitSeeds: *txSeeds, FadingSeeds: *fdSeeds,
+			Points: *points, Seed: *seed, Topology: *topology,
+		},
+		shardSize:   *shardSize,
+		lease:       *lease,
+		maxAttempts: *maxAttempts,
+		deadAfter:   *deadAfter,
+		format:      *format,
+		out:         *out,
+		mergedCk:    *mergedCk,
+		progress:    *prog,
+	})
+	if ferr := obsDone(); err == nil {
+		err = ferr
+	}
+	return err
+}
+
+// clusterParams is the resolved flag set for one cluster run.
+type clusterParams struct {
+	workers     []string
+	wire        server.Figure1ShardConfig
+	shardSize   int
+	lease       time.Duration
+	maxAttempts int
+	deadAfter   int
+	format      string
+	out         string
+	mergedCk    string
+	progress    bool
+}
+
+func runCluster(ctx context.Context, of *obsFlags, p clusterParams) error {
+	cfg := p.wire.SimConfig()
+	sha, err := sim.Figure1ConfigSHA(cfg)
+	if err != nil {
+		return err
+	}
+
+	// The coordinator reuses the -log level for its own event stream; the
+	// sim logger installed by of.start only covers the local replay.
+	log := obs.Discard()
+	if of.logLevel != "" {
+		lvl, err := obs.ParseLevel(of.logLevel)
+		if err != nil {
+			return err
+		}
+		log = obs.NewLogger(os.Stderr, lvl, false)
+	}
+	var tracker *progress.Tracker
+	if p.progress {
+		tracker = progress.New("cluster", os.Stderr)
+		tracker.Start(progressInterval)
+		defer tracker.Stop()
+	}
+
+	co, err := dist.New(dist.Config{
+		Workers:      p.workers,
+		ShardSize:    p.shardSize,
+		LeaseTimeout: p.lease,
+		MaxAttempts:  p.maxAttempts,
+		DeadAfter:    p.deadAfter,
+		Client:       client.Config{JitterSeed: p.wire.Seed},
+		Log:          log,
+		Tracker:      tracker,
+	})
+	if err != nil {
+		return err
+	}
+	live, err := co.Discover(ctx)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "raysched: cluster: %d/%d workers live\n", len(live), len(p.workers))
+	for _, w := range live {
+		fmt.Fprintf(os.Stderr, "raysched: cluster:   %s instance=%s gomaxprocs=%d\n", w.URL, w.Instance, w.GoMaxProcs)
+	}
+
+	wire := p.wire
+	timeoutMS := p.lease.Milliseconds()
+	job := dist.Job{
+		Experiment: sim.ExperimentFigure1,
+		ConfigSHA:  sha,
+		Reps:       cfg.Networks,
+		NewRequest: func(lo, hi int) ([]byte, error) {
+			return json.Marshal(server.ShardRequest{
+				Experiment: sim.ExperimentFigure1,
+				Lo:         lo, Hi: hi,
+				Figure1:   &wire,
+				TimeoutMS: timeoutMS,
+			})
+		},
+	}
+	results, st, err := co.Run(ctx, job)
+	if err != nil {
+		return fmt.Errorf("cluster run (%d/%d shards merged, %d reassigned, %d dead workers): %w",
+			st.Completed, st.Shards, st.Reassigned, st.DeadWorkers, err)
+	}
+	fmt.Fprintf(os.Stderr, "raysched: cluster: %d shards merged, %d reassigned, %d dead workers\n",
+		st.Shards, st.Reassigned, st.DeadWorkers)
+
+	ckPath := p.mergedCk
+	if ckPath == "" {
+		dir, err := os.MkdirTemp("", "raysched-cluster-")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		ckPath = filepath.Join(dir, "merged.ckpt")
+	}
+	if err := sim.WriteMergedCheckpoint(ckPath, job.Experiment, sha, job.Reps, results); err != nil {
+		return err
+	}
+
+	// Replay: every replication restores from the merged checkpoint, so this
+	// computes nothing — it routes the remote results through the identical
+	// aggregation and rendering path as a single-node run.
+	cfg.Checkpoint = ckPath
+	res, err := sim.RunFigure1Ctx(ctx, cfg)
+	if err != nil {
+		return err
+	}
+	return renderFigure1(res, p.format, p.out)
+}
+
+// splitWorkers parses the -workers flag: comma-separated URLs, blanks
+// tolerated, trailing slashes trimmed so URL joining stays uniform.
+func splitWorkers(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimRight(strings.TrimSpace(part), "/")
+		if part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}

@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"rayfade/internal/server"
+)
+
+// clusterTestWorkers starts n in-process rayschedd instances and returns the
+// -workers flag value addressing them.
+func clusterTestWorkers(t *testing.T, n int) string {
+	t.Helper()
+	urls := make([]string, n)
+	for i := range urls {
+		s := server.New(server.Config{Workers: 2, QueueSize: 16})
+		ts := httptest.NewServer(s)
+		t.Cleanup(func() { ts.Close(); s.Close() })
+		urls[i] = ts.URL
+	}
+	return strings.Join(urls, ",")
+}
+
+// TestCmdClusterByteIdenticalToFigure1 is the CLI-level determinism claim:
+// `raysched cluster` across three workers writes the same bytes as
+// `raysched figure1` with identical parameters.
+func TestCmdClusterByteIdenticalToFigure1(t *testing.T) {
+	dir := t.TempDir()
+	single := filepath.Join(dir, "single.csv")
+	clustered := filepath.Join(dir, "cluster.csv")
+	params := []string{"-networks", "4", "-links", "12", "-txseeds", "2",
+		"-fadeseeds", "2", "-points", "3", "-seed", "7"}
+
+	if err := cmdFigure1(context.Background(), append(append([]string{}, params...), "-out", single)); err != nil {
+		t.Fatalf("figure1: %v", err)
+	}
+	args := append(append([]string{}, params...),
+		"-workers", clusterTestWorkers(t, 3),
+		"-shard-size", "1",
+		"-out", clustered)
+	if err := cmdCluster(context.Background(), args); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+
+	got, err := os.ReadFile(clustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("cluster CSV differs from single-node figure1:\n--- cluster\n%s\n--- single\n%s", got, want)
+	}
+}
+
+// TestCmdClusterKeepsMergedCheckpoint: -merged-checkpoint persists a
+// checkpoint that a plain figure1 run resumes from, reproducing the cluster's
+// bytes. The internal suites prove resume is zero-recompute; here the claim
+// is that the CLI artifact round-trips through the public resume path.
+func TestCmdClusterKeepsMergedCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	ck := filepath.Join(dir, "merged.ckpt")
+	params := []string{"-networks", "3", "-links", "12", "-txseeds", "2",
+		"-fadeseeds", "2", "-points", "3", "-seed", "7"}
+	clustered := filepath.Join(dir, "cluster.csv")
+	args := append(append([]string{}, params...),
+		"-workers", clusterTestWorkers(t, 2),
+		"-merged-checkpoint", ck,
+		"-out", clustered)
+	if err := cmdCluster(context.Background(), args); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	if _, err := os.Stat(ck); err != nil {
+		t.Fatalf("merged checkpoint was not kept: %v", err)
+	}
+
+	resumed := filepath.Join(dir, "resumed.csv")
+	resumeArgs := append(append([]string{}, params...), "-checkpoint", ck, "-out", resumed)
+	if err := cmdFigure1(context.Background(), resumeArgs); err != nil {
+		t.Fatalf("figure1 resume from merged checkpoint: %v", err)
+	}
+	got, err := os.ReadFile(resumed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile(clustered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatal("figure1 resumed from the merged checkpoint differs from the cluster output")
+	}
+}
+
+func TestCmdClusterRequiresWorkers(t *testing.T) {
+	if err := cmdCluster(context.Background(), []string{"-networks", "2"}); err == nil {
+		t.Fatal("cluster with no -workers succeeded")
+	}
+}
+
+func TestSplitWorkers(t *testing.T) {
+	got := splitWorkers(" http://a:1/, ,http://b:2 ,")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Fatalf("splitWorkers: %q", got)
+	}
+	if splitWorkers("") != nil {
+		t.Fatal("empty spec should yield nil")
+	}
+}

@@ -1,0 +1,524 @@
+// Package dist is the cluster coordinator for distributed Monte-Carlo runs:
+// it partitions a run's replication index space [0, reps) into contiguous
+// shards, dispatches them to a set of rayschedd workers over POST /v1/shard
+// (through the retrying client), and merges the returned shard documents
+// into one complete result map in replication-index order.
+//
+// Correctness rests on the sim layer's determinism contract: every worker
+// splits the same per-replication RNG streams, so a shard's bytes are
+// independent of which worker computed it, how many workers exist, and in
+// what order shards complete. The coordinator therefore only has to ensure
+// coverage — every index merged exactly once — and the final artifact is
+// byte-identical to a single-node run by construction.
+//
+// Failure model:
+//
+//   - Each dispatch holds a lease: a per-attempt context deadline. A worker
+//     that dies, hangs, or is partitioned misses its lease and the shard is
+//     requeued for any live worker — work is reassigned, never lost.
+//   - A worker accumulating consecutive failed attempts is declared dead and
+//     its loop exits; the run continues on the survivors and fails only when
+//     no worker remains with shards outstanding.
+//   - Application errors (4xx, identity mismatches) are deterministic —
+//     retrying them elsewhere cannot help — and abort the run.
+//   - The faults site "dist.shard" (faults.SiteDistShard) injects dispatch
+//     failures deterministically, exercising the reassignment path in tests
+//     without killing processes; injected failures do not count toward a
+//     worker's death.
+package dist
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"sync"
+	"time"
+
+	"rayfade/internal/client"
+	"rayfade/internal/faults"
+	"rayfade/internal/obs"
+	"rayfade/internal/progress"
+	"rayfade/internal/sim"
+	"rayfade/internal/version"
+)
+
+// Config shapes a coordinator. Zero fields take the documented defaults.
+type Config struct {
+	// Workers are the base URLs of the rayschedd instances to shard across.
+	// At least one is required.
+	Workers []string
+	// ShardSize is the replication count per shard; <= 0 selects
+	// ceil(reps / (4 · workers)), min 1 — about four waves per worker, small
+	// enough that losing a worker forfeits little progress, large enough to
+	// amortize dispatch overhead.
+	ShardSize int
+	// LeaseTimeout bounds one dispatch attempt (including the client's
+	// retries within it); a missed lease requeues the shard. <= 0 selects 2m.
+	LeaseTimeout time.Duration
+	// MaxAttempts caps dispatch attempts per shard across all workers;
+	// <= 0 selects 4.
+	MaxAttempts int
+	// DeadAfter is the number of consecutive failed attempts after which a
+	// worker is declared dead and abandoned; <= 0 selects 2.
+	DeadAfter int
+	// Client is the retry-policy template for per-worker clients; BaseURL
+	// and JitterSeed are overridden per worker (distinct seeds, so workers'
+	// backoff schedules do not herd).
+	Client client.Config
+	// Log receives coordinator events (dispatches, reassignments, worker
+	// death). Nil discards.
+	Log *slog.Logger
+	// Tracker, when non-nil, aggregates cluster-wide progress: the
+	// coordinator adds the run's replication total up front and marks a
+	// whole shard's replications done as each shard document lands, so one
+	// local Tracker carries the ETA for work executing remotely.
+	Tracker *progress.Tracker
+}
+
+func (c Config) withDefaults() Config {
+	if c.LeaseTimeout <= 0 {
+		c.LeaseTimeout = 2 * time.Minute
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 4
+	}
+	if c.DeadAfter <= 0 {
+		c.DeadAfter = 2
+	}
+	return c
+}
+
+// Job describes one distributed run. The coordinator is experiment-agnostic:
+// the request builder closes over the experiment parameters, and the
+// identity triple is what every returned shard is validated against.
+type Job struct {
+	// Experiment and ConfigSHA identify the run (sim checkpoint identity).
+	Experiment string
+	ConfigSHA  string
+	// Reps is the replication count; shards partition [0, Reps).
+	Reps int
+	// NewRequest marshals the POST /v1/shard body for range [lo, hi).
+	NewRequest func(lo, hi int) ([]byte, error)
+}
+
+// WorkerInfo is what Discover learns about one live worker.
+type WorkerInfo struct {
+	URL        string
+	Instance   string
+	Version    string
+	GoMaxProcs int
+}
+
+// Stats summarizes a completed (or failed) Run.
+type Stats struct {
+	// Shards is the partition size; Completed counts shard documents merged.
+	Shards    int
+	Completed int
+	// Reassigned counts dispatch attempts that failed and sent the shard
+	// back to the queue (lease expiry, transport failure, injected fault).
+	Reassigned int
+	// DeadWorkers counts workers abandoned after consecutive failures.
+	DeadWorkers int
+}
+
+// workerHealth mirrors the rayschedd /healthz body.
+type workerHealth struct {
+	Status     string `json:"status"`
+	Version    string `json:"version"`
+	Instance   string `json:"instance"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+}
+
+// Coordinator drives distributed runs against a fixed worker set.
+type Coordinator struct {
+	cfg Config
+	log *slog.Logger
+}
+
+// New validates cfg and builds a Coordinator.
+func New(cfg Config) (*Coordinator, error) {
+	if len(cfg.Workers) == 0 {
+		return nil, errors.New("dist: no workers configured")
+	}
+	cfg = cfg.withDefaults()
+	log := cfg.Log
+	if log == nil {
+		log = obs.Discard()
+	}
+	return &Coordinator{cfg: cfg, log: log}, nil
+}
+
+// Discover probes every worker's /healthz and returns the live ones. Dead
+// workers are tolerated (logged) as long as at least one answers; a live
+// worker running a different build than the coordinator is an error, because
+// byte-identity across the cluster assumes identical code.
+func (c *Coordinator) Discover(ctx context.Context) ([]WorkerInfo, error) {
+	httpClient := c.cfg.Client.HTTPClient
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	var live []WorkerInfo
+	for _, url := range c.cfg.Workers {
+		h, err := fetchHealth(ctx, httpClient, url)
+		if err != nil {
+			c.log.Warn("dist: worker unreachable", "worker", url, "err", err.Error())
+			continue
+		}
+		if h.Status != "ok" {
+			c.log.Warn("dist: worker unhealthy", "worker", url, "status", h.Status)
+			continue
+		}
+		if h.Version != version.Version {
+			return nil, fmt.Errorf("dist: worker %s runs version %q, coordinator is %q — shard bytes would not be comparable",
+				url, h.Version, version.Version)
+		}
+		live = append(live, WorkerInfo{URL: url, Instance: h.Instance, Version: h.Version, GoMaxProcs: h.GoMaxProcs})
+	}
+	if len(live) == 0 {
+		return nil, fmt.Errorf("dist: none of the %d configured workers is reachable", len(c.cfg.Workers))
+	}
+	return live, nil
+}
+
+func fetchHealth(ctx context.Context, httpClient *http.Client, baseURL string) (workerHealth, error) {
+	ctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/healthz", nil)
+	if err != nil {
+		return workerHealth{}, err
+	}
+	resp, err := httpClient.Do(req)
+	if err != nil {
+		return workerHealth{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return workerHealth{}, fmt.Errorf("healthz status %d", resp.StatusCode)
+	}
+	var h workerHealth
+	if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+		return workerHealth{}, err
+	}
+	return h, nil
+}
+
+// shardTask is one shard's scheduling state. Attempt counting lives here —
+// the task survives reassignment across workers, so the cap is global.
+type shardTask struct {
+	lo, hi   int
+	attempts int
+}
+
+// outcome classifies one dispatch attempt.
+type outcome int
+
+const (
+	// outcomeOK: the shard document was received, validated, and recorded.
+	outcomeOK outcome = iota
+	// outcomeTransient: the attempt failed in a way another attempt may fix
+	// (lease expiry, transport failure, corrupt transfer). Counts toward the
+	// worker's consecutive-failure death threshold.
+	outcomeTransient
+	// outcomeInjected: a deterministic chaos fault burned the attempt. The
+	// shard requeues but the worker's health is not implicated.
+	outcomeInjected
+	// outcomeCancelled: the run's context ended mid-attempt.
+	outcomeCancelled
+	// outcomeFatal: a deterministic failure (4xx, identity mismatch); the
+	// run must abort.
+	outcomeFatal
+)
+
+// shardSize resolves the effective shard size for a run.
+func (c *Coordinator) shardSize(reps int) int {
+	size := c.cfg.ShardSize
+	if size <= 0 {
+		waves := 4 * len(c.cfg.Workers)
+		size = (reps + waves - 1) / waves
+	}
+	if size < 1 {
+		size = 1
+	}
+	return size
+}
+
+// Run executes job across the worker set and returns the merged
+// per-replication results (the input to sim.WriteMergedCheckpoint) plus run
+// statistics. The stats are valid even when err is non-nil.
+func (c *Coordinator) Run(ctx context.Context, job Job) (map[int]json.RawMessage, Stats, error) {
+	var stats Stats
+	if job.Reps <= 0 {
+		return nil, stats, fmt.Errorf("dist: job with %d replications", job.Reps)
+	}
+	if job.NewRequest == nil {
+		return nil, stats, errors.New("dist: job has no request builder")
+	}
+	size := c.shardSize(job.Reps)
+	var tasks []*shardTask
+	for lo := 0; lo < job.Reps; lo += size {
+		hi := lo + size
+		if hi > job.Reps {
+			hi = job.Reps
+		}
+		tasks = append(tasks, &shardTask{lo: lo, hi: hi})
+	}
+	stats.Shards = len(tasks)
+	c.cfg.Tracker.AddTotal(job.Reps)
+	c.log.Info("dist: run starting",
+		"experiment", job.Experiment, "reps", job.Reps,
+		"shards", len(tasks), "shard_size", size, "workers", len(c.cfg.Workers))
+
+	// The queue is buffered to the full shard count, so a requeue can never
+	// block: each task is either queued, in flight on exactly one worker, or
+	// completed.
+	queue := make(chan *shardTask, len(tasks))
+	for _, task := range tasks {
+		queue <- task
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var (
+		mu        sync.Mutex
+		shards    []*sim.Shard
+		remaining = len(tasks)
+		alive     = len(c.cfg.Workers)
+		runErr    error
+	)
+	done := make(chan struct{})
+	fail := func(err error) {
+		mu.Lock()
+		if runErr == nil {
+			runErr = err
+		}
+		mu.Unlock()
+		cancel()
+	}
+	// recordShard admits one validated shard; returns after closing done
+	// when it was the last.
+	recordShard := func(sh *sim.Shard) {
+		mu.Lock()
+		shards = append(shards, sh)
+		stats.Completed++
+		remaining--
+		last := remaining == 0
+		mu.Unlock()
+		if last {
+			close(done)
+		}
+	}
+	// requeueShard returns a failed task to the pool, or aborts the run when
+	// its attempt budget is spent.
+	requeueShard := func(task *shardTask, cause error) {
+		mu.Lock()
+		stats.Reassigned++
+		exhausted := task.attempts >= c.cfg.MaxAttempts
+		if !exhausted {
+			queue <- task
+		}
+		mu.Unlock()
+		if exhausted {
+			fail(fmt.Errorf("dist: shard [%d,%d) failed %d attempts: %w",
+				task.lo, task.hi, task.attempts, cause))
+		}
+	}
+
+	var wg sync.WaitGroup
+	for i, url := range c.cfg.Workers {
+		seed := c.cfg.Client.JitterSeed
+		if seed == 0 {
+			seed = 1
+		}
+		ccfg := c.cfg.Client
+		ccfg.BaseURL = url
+		ccfg.JitterSeed = seed + uint64(i)
+		w := &workerLoop{coord: c, url: url, client: client.New(ccfg)}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			w.run(ctx, job, queue, recordShard, requeueShard, fail)
+			mu.Lock()
+			if w.dead {
+				stats.DeadWorkers++
+			}
+			alive--
+			lastWorker := alive == 0 && remaining > 0
+			outstanding := remaining
+			mu.Unlock()
+			if lastWorker {
+				fail(fmt.Errorf("dist: all %d workers failed with %d shards outstanding",
+					len(c.cfg.Workers), outstanding))
+			}
+		}()
+	}
+
+	select {
+	case <-done:
+		cancel() // release the idle worker loops
+	case <-ctx.Done():
+	}
+	wg.Wait()
+
+	mu.Lock()
+	err := runErr
+	merged := shards
+	finalStats := stats
+	mu.Unlock()
+	if err != nil {
+		return nil, finalStats, err
+	}
+	if cerr := context.Cause(ctx); cerr != nil && finalStats.Completed < finalStats.Shards {
+		return nil, finalStats, cerr
+	}
+	results, err := sim.MergeShards(job.Experiment, job.ConfigSHA, job.Reps, merged)
+	if err != nil {
+		return nil, finalStats, err
+	}
+	c.log.Info("dist: run complete",
+		"shards", finalStats.Shards, "reassigned", finalStats.Reassigned,
+		"dead_workers", finalStats.DeadWorkers)
+	return results, finalStats, nil
+}
+
+// workerLoop is one worker's dispatch goroutine state.
+type workerLoop struct {
+	coord  *Coordinator
+	url    string
+	client *client.Client
+	fails  int  // consecutive transient failures
+	dead   bool // declared dead after DeadAfter consecutive failures
+}
+
+// run pulls shards off the queue until the context ends or the worker is
+// declared dead, routing each attempt's result to exactly one of the three
+// callbacks.
+func (w *workerLoop) run(ctx context.Context, job Job, queue chan *shardTask,
+	record func(*sim.Shard), requeue func(*shardTask, error), fatal func(error)) {
+	for {
+		var task *shardTask
+		select {
+		case <-ctx.Done():
+			return
+		case task = <-queue:
+		}
+		sh, out, err := w.attempt(ctx, job, task)
+		switch out {
+		case outcomeOK:
+			w.fails = 0
+			record(sh)
+		case outcomeInjected:
+			w.coord.log.Warn("dist: injected dispatch fault",
+				"worker", w.url, "lo", task.lo, "hi", task.hi, "attempt", task.attempts)
+			requeue(task, err)
+		case outcomeTransient:
+			w.fails++
+			w.coord.log.Warn("dist: shard attempt failed",
+				"worker", w.url, "lo", task.lo, "hi", task.hi,
+				"attempt", task.attempts, "err", err.Error())
+			requeue(task, err)
+			if w.fails >= w.coord.cfg.DeadAfter {
+				w.dead = true
+				w.coord.log.Warn("dist: worker declared dead",
+					"worker", w.url, "consecutive_failures", w.fails)
+				return
+			}
+		case outcomeCancelled:
+			// Return the task so the accounting stays consistent if another
+			// path (not cancellation) raced us; the queue has capacity.
+			queue <- task
+			return
+		case outcomeFatal:
+			fatal(err)
+			return
+		}
+	}
+}
+
+// attempt dispatches one shard to this worker under a lease and classifies
+// the result. On outcomeOK the returned shard is validated against the job
+// identity and the requested range.
+func (w *workerLoop) attempt(ctx context.Context, job Job, task *shardTask) (*sim.Shard, outcome, error) {
+	task.attempts++
+	_, sp := obs.StartDetached(ctx, "dist.shard")
+	sp.SetAttr("worker", w.url)
+	sp.SetAttr("lo", task.lo)
+	sp.SetAttr("hi", task.hi)
+	sp.SetAttr("attempt", task.attempts)
+	result := "ok"
+	defer func() {
+		sp.SetAttr("outcome", result)
+		sp.End()
+	}()
+
+	// Chaos hook: an injected error burns this attempt — the shard requeues
+	// exactly as if the dispatch had failed on the wire.
+	if ferr := faults.Inject(faults.SiteDistShard); ferr != nil {
+		result = "injected"
+		return nil, outcomeInjected, ferr
+	}
+
+	body, berr := job.NewRequest(task.lo, task.hi)
+	if berr != nil {
+		result = "fatal"
+		return nil, outcomeFatal, fmt.Errorf("dist: build shard request [%d,%d): %w", task.lo, task.hi, berr)
+	}
+	lease, cancel := context.WithTimeout(ctx, w.coord.cfg.LeaseTimeout)
+	defer cancel()
+	resp, status, perr := w.client.PostJSON(lease, "/v1/shard", body)
+	switch {
+	case perr != nil && ctx.Err() != nil:
+		result = "cancelled"
+		return nil, outcomeCancelled, ctx.Err()
+	case perr != nil:
+		// Transport failure, exhausted retry budget, or lease expiry: the
+		// lease is released and the shard goes back to the pool.
+		result = "lease"
+		return nil, outcomeTransient, fmt.Errorf("dist: worker %s: %w", w.url, perr)
+	}
+	if status != http.StatusOK {
+		// Terminal application status (the client already retried the
+		// retryable ones): deterministic, another worker would answer the
+		// same. Abort.
+		result = "fatal"
+		return nil, outcomeFatal, fmt.Errorf("dist: worker %s answered %d for shard [%d,%d): %s",
+			w.url, status, task.lo, task.hi, firstLine(resp))
+	}
+	decoded, derr := sim.DecodeShard(resp)
+	if derr != nil {
+		// A corrupt document may be a mangled transfer; let another attempt
+		// try rather than aborting the run.
+		result = "corrupt"
+		return nil, outcomeTransient, fmt.Errorf("dist: worker %s shard [%d,%d): %w", w.url, task.lo, task.hi, derr)
+	}
+	if decoded.Experiment != job.Experiment || decoded.ConfigSHA != job.ConfigSHA ||
+		decoded.Reps != job.Reps || decoded.Lo != task.lo || decoded.Hi != task.hi {
+		// Identity mismatch means the worker computed a different run —
+		// wrong build or wrong parameters. Deterministic; abort.
+		result = "fatal"
+		return nil, outcomeFatal, fmt.Errorf("dist: worker %s returned a shard for a different run: experiment %q sha %.12s… reps %d range [%d,%d), want %q %.12s… %d [%d,%d)",
+			w.url, decoded.Experiment, decoded.ConfigSHA, decoded.Reps, decoded.Lo, decoded.Hi,
+			job.Experiment, job.ConfigSHA, job.Reps, task.lo, task.hi)
+	}
+	w.coord.cfg.Tracker.AddDone(task.hi - task.lo)
+	w.coord.log.Info("dist: shard complete",
+		"worker", w.url, "lo", task.lo, "hi", task.hi, "attempt", task.attempts)
+	return decoded, outcomeOK, nil
+}
+
+// firstLine trims a response body to its first line for error messages.
+func firstLine(b []byte) string {
+	for i, c := range b {
+		if c == '\n' {
+			b = b[:i]
+			break
+		}
+	}
+	const max = 200
+	if len(b) > max {
+		b = b[:max]
+	}
+	return string(b)
+}

@@ -71,6 +71,11 @@ const (
 	// SiteCheckpoint fires before each checkpoint flush (internal/sim),
 	// upstream of the fsio partial-write site.
 	SiteCheckpoint = "sim.checkpoint"
+	// SiteDistShard fires in the coordinator as it is about to dispatch a
+	// shard to a worker (internal/dist). Kind "error" simulates a failed
+	// dispatch: the shard's lease is released and it is reassigned — the
+	// same path a dead worker exercises, made deterministic for tests.
+	SiteDistShard = "dist.shard"
 )
 
 // Kind enumerates the injectable faults.

@@ -102,6 +102,18 @@ func (t *Tracker) ReplicationDone() {
 	t.done.Add(1)
 }
 
+// AddDone records n replications completed at once. Local runs tick
+// ReplicationDone per replication; a cluster coordinator calls AddDone with
+// a whole shard's replication count when the shard lands, so one Tracker
+// aggregates progress (and therefore ETA) across every remote worker
+// instead of only counting local work.
+func (t *Tracker) AddDone(n int) {
+	if t == nil {
+		return
+	}
+	t.done.Add(int64(n))
+}
+
 // AddRealizations records n further Monte-Carlo fading realizations.
 // Instrumented inner loops batch their ticks (e.g. once per transmit seed)
 // so the atomic add stays far off the per-draw hot path.

@@ -36,6 +36,31 @@ func TestCounters(t *testing.T) {
 	}
 }
 
+// TestAddDoneAggregates: a cluster coordinator marks whole shards of
+// remotely-computed replications done in one call; AddDone must mix with
+// per-replication counting and drive the ETA like local work does.
+func TestAddDoneAggregates(t *testing.T) {
+	tr := New("cluster", nil)
+	tr.AddTotal(12)
+	tr.AddDone(4) // one shard lands
+	tr.ReplicationDone()
+	tr.AddDone(7) // another shard
+	s := tr.Snapshot()
+	if s.Done != 12 || s.Total != 12 {
+		t.Fatalf("snapshot %+v, want 12/12", s)
+	}
+	if s.ETA != 0 {
+		t.Fatalf("ETA %v with nothing remaining", s.ETA)
+	}
+
+	var nilTr *Tracker
+	nilTr.AddDone(5) // nil-safe like every other Tracker method
+	tr.AddDone(0)    // zero is a no-op, not an error
+	if got := tr.Snapshot().Done; got != 12 {
+		t.Fatalf("done %d after AddDone(0)", got)
+	}
+}
+
 func TestETAZeroBeforeFirstReplication(t *testing.T) {
 	tr := New("exp", nil)
 	tr.AddTotal(10)

@@ -255,8 +255,14 @@ type estimateResponse struct {
 	Exact float64 `json:"exact"`
 }
 
-// healthResponse is the /healthz body.
+// healthResponse is the /healthz body: liveness plus the worker identity a
+// cluster coordinator needs — which process it is talking to, how wide it is,
+// and how much shard work it is carrying.
 type healthResponse struct {
-	Status  string `json:"status"`
-	Version string `json:"version"`
+	Status          string `json:"status"`
+	Version         string `json:"version"`
+	Instance        string `json:"instance"`
+	GoMaxProcs      int    `json:"gomaxprocs"`
+	ShardsInflight  int64  `json:"shards_inflight"`
+	ShardsCompleted int64  `json:"shards_completed"`
 }

@@ -47,6 +47,10 @@ type Metrics struct {
 	reg       *obs.Registry
 	endpoints map[string]*endpointStats
 
+	// counters are free-standing named counters (no endpoint/code labels)
+	// registered via Counter, e.g. the shard-completion tally.
+	counters map[string]*obs.Counter
+
 	// gauges are sampled lazily at render time so Metrics has no coupling
 	// to the pool and cache beyond these closures.
 	gauges map[string]func() float64
@@ -67,6 +71,7 @@ func NewMetricsWithRegistry(reg *obs.Registry) *Metrics {
 	return &Metrics{
 		reg:       reg,
 		endpoints: make(map[string]*endpointStats),
+		counters:  make(map[string]*obs.Counter),
 		gauges:    make(map[string]func() float64),
 	}
 }
@@ -79,6 +84,20 @@ func (m *Metrics) Gauge(name string, sample func() float64) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.gauges[name] = sample
+}
+
+// Counter registers (or returns the existing) free-standing counter rendered
+// under the given Prometheus series name. The counter lives in the backing
+// obs.Registry under the same name, so /debug/obs sees the same tally.
+func (m *Metrics) Counter(name string) *obs.Counter {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.counters[name]
+	if !ok {
+		c = m.reg.Counter(name)
+		m.counters[name] = c
+	}
+	return c
 }
 
 // stats returns (creating on first use) the per-endpoint aggregate. Callers
@@ -275,6 +294,17 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 		if err := p("rayschedd_queue_wait_seconds_count{endpoint=%q} %d\n", ep, es.waitCount); err != nil {
+			return n, err
+		}
+	}
+
+	cnames := make([]string, 0, len(m.counters))
+	for name := range m.counters {
+		cnames = append(cnames, name)
+	}
+	sort.Strings(cnames)
+	for _, name := range cnames {
+		if err := p("# TYPE %s counter\n%s %d\n", name, name, m.counters[name].Load()); err != nil {
 			return n, err
 		}
 	}

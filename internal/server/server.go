@@ -7,7 +7,8 @@
 //	POST /v1/latency    full-coverage latency scheduling (repeated capacity, ALOHA)
 //	POST /v1/reduce     non-fading→Rayleigh reduction (Algorithm 1 / Theorem 2)
 //	POST /v1/estimate   Monte-Carlo Rayleigh success estimation (exact form alongside)
-//	GET  /healthz       liveness + version
+//	POST /v1/shard      distributed Monte-Carlo: replications [lo,hi) as a shard document
+//	GET  /healthz       liveness + version + worker identity (instance, GOMAXPROCS, shard load)
 //	GET  /metrics       Prometheus text: requests, latency, queue wait, cache, queue
 //	GET  /debug/obs     (Config.Debug) counter snapshot + recent request spans
 //	GET  /debug/pprof/  (Config.Debug) net/http/pprof
@@ -45,7 +46,9 @@ import (
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
+	"runtime"
 	"strconv"
+	"sync/atomic"
 	"time"
 
 	"rayfade/internal/faults"
@@ -126,6 +129,14 @@ type Server struct {
 	mux     *http.ServeMux
 	log     *slog.Logger
 	tracer  *obs.Tracer
+
+	// instance identifies this daemon process to cluster coordinators
+	// (reported by /healthz); fresh per New, stable for the process.
+	instance string
+	// shardsInflight counts /v1/shard computations currently on pool
+	// workers; shardsCompleted tallies successfully sealed shard documents.
+	shardsInflight  atomic.Int64
+	shardsCompleted *obs.Counter
 }
 
 // New builds a ready-to-serve Server. The caller owns its lifecycle: serve
@@ -141,14 +152,17 @@ func New(cfg Config) *Server {
 		tracer = obs.NewTracer(0)
 	}
 	s := &Server{
-		cfg:     cfg,
-		pool:    NewPool(cfg.Workers, cfg.QueueSize),
-		cache:   NewCache(cfg.CacheSize),
-		metrics: NewMetrics(),
-		mux:     http.NewServeMux(),
-		log:     log,
-		tracer:  tracer,
+		cfg:      cfg,
+		pool:     NewPool(cfg.Workers, cfg.QueueSize),
+		cache:    NewCache(cfg.CacheSize),
+		metrics:  NewMetrics(),
+		mux:      http.NewServeMux(),
+		log:      log,
+		tracer:   tracer,
+		instance: obs.NewRunID(),
 	}
+	s.shardsCompleted = s.metrics.Counter("rayschedd_shards_completed_total")
+	s.metrics.Gauge("rayschedd_shards_inflight", func() float64 { return float64(s.shardsInflight.Load()) })
 	s.metrics.Gauge("rayschedd_queue_depth", func() float64 { return float64(s.pool.QueueDepth()) })
 	s.metrics.Gauge("rayschedd_in_flight", func() float64 { return float64(s.pool.InFlight()) })
 	s.metrics.Gauge("rayschedd_cache_entries", func() float64 { return float64(s.cache.Len()) })
@@ -166,6 +180,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/latency", s.instrumented("/v1/latency", s.handleLatency))
 	s.mux.HandleFunc("POST /v1/reduce", s.instrumented("/v1/reduce", s.handleReduce))
 	s.mux.HandleFunc("POST /v1/estimate", s.instrumented("/v1/estimate", s.handleEstimate))
+	s.mux.HandleFunc("POST /v1/shard", s.instrumented("/v1/shard", s.handleShard))
 	// The operational endpoints share one "meta" label: they must not be
 	// invisible to the access log and request counters (a scraper hammering
 	// /metrics is load too), but folding them into per-path labels would let
@@ -581,7 +596,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	body, _ := json.Marshal(healthResponse{Status: "ok", Version: version.Version})
+	body, _ := json.Marshal(healthResponse{
+		Status:          "ok",
+		Version:         version.Version,
+		Instance:        s.instance,
+		GoMaxProcs:      runtime.GOMAXPROCS(0),
+		ShardsInflight:  s.shardsInflight.Load(),
+		ShardsCompleted: s.shardsCompleted.Load(),
+	})
 	writeJSON(w, http.StatusOK, body)
 }
 

@@ -43,10 +43,37 @@ type checkpointBody struct {
 
 // checkpointFile is the full on-disk document: the body plus a SHA-256 of
 // the body's exact JSON bytes. Readers re-hash Body (kept as RawMessage, so
-// byte-for-byte what was written) before trusting anything inside it.
+// byte-for-byte what was written) before trusting anything inside it. The
+// same envelope seals shard documents (see shardio.go), so one pair of
+// helpers covers both formats.
 type checkpointFile struct {
 	Body   json.RawMessage `json:"body"`
 	SHA256 string          `json:"sha256"`
+}
+
+// sealDocument marshals body and wraps it in the checksummed envelope.
+func sealDocument(body any) ([]byte, error) {
+	bodyJSON, err := json.Marshal(body)
+	if err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(bodyJSON)
+	return json.Marshal(checkpointFile{Body: bodyJSON, SHA256: hex.EncodeToString(sum[:])})
+}
+
+// openDocument unwraps a checksummed envelope, verifying the SHA-256 over
+// the body's exact bytes before returning them. Callers wrap the error with
+// their format's corruption sentinel.
+func openDocument(raw []byte) (json.RawMessage, error) {
+	var file checkpointFile
+	if err := json.Unmarshal(raw, &file); err != nil {
+		return nil, err
+	}
+	sum := sha256.Sum256(file.Body)
+	if hex.EncodeToString(sum[:]) != file.SHA256 {
+		return nil, errors.New("body checksum mismatch")
+	}
+	return file.Body, nil
 }
 
 // Checkpoint persists completed replication results so an interrupted run
@@ -120,16 +147,12 @@ func OpenCheckpoint(path, experiment string, config any, reps, every int) (*Chec
 	if err != nil {
 		return nil, fmt.Errorf("sim: read checkpoint %s: %w", path, err)
 	}
-	var file checkpointFile
-	if err := json.Unmarshal(raw, &file); err != nil {
+	bodyJSON, err := openDocument(raw)
+	if err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrCheckpointCorrupt, path, err)
 	}
-	sum := sha256.Sum256(file.Body)
-	if hex.EncodeToString(sum[:]) != file.SHA256 {
-		return nil, fmt.Errorf("%w: %s: body checksum mismatch", ErrCheckpointCorrupt, path)
-	}
 	var body checkpointBody
-	if err := json.Unmarshal(file.Body, &body); err != nil {
+	if err := json.Unmarshal(bodyJSON, &body); err != nil {
 		return nil, fmt.Errorf("%w: %s: %v", ErrCheckpointCorrupt, path, err)
 	}
 	if body.Schema != checkpointSchema {
@@ -223,12 +246,7 @@ func (ck *Checkpoint) Flush() error {
 	ck.pending = 0
 	ck.mu.Unlock()
 
-	bodyJSON, err := json.Marshal(body)
-	if err != nil {
-		return fmt.Errorf("sim: encode checkpoint: %w", err)
-	}
-	sum := sha256.Sum256(bodyJSON)
-	doc, err := json.Marshal(checkpointFile{Body: bodyJSON, SHA256: hex.EncodeToString(sum[:])})
+	doc, err := sealDocument(body)
 	if err != nil {
 		return fmt.Errorf("sim: encode checkpoint: %w", err)
 	}

@@ -138,6 +138,34 @@ const (
 	CurveSqrtRayleigh     = "sqrt/rayleigh"
 )
 
+// ExperimentFigure1 is the experiment name Figure-1 checkpoints and shards
+// carry; a coordinator and its workers must agree on it.
+const ExperimentFigure1 = "figure1"
+
+// identityKey returns the determinism-relevant subset of the config — the
+// checkpoint/shard identity. Execution knobs (Workers, the checkpoint path)
+// are deliberately excluded so a resume or a re-shard may change them.
+// Callers pass a defaults-applied config, so equal effective runs hash
+// equally however sparsely they were specified.
+func (c Figure1Config) identityKey() any {
+	return struct {
+		Networks, Links, TransmitSeeds, FadingSeeds int
+		Probs                                       []float64
+		Beta, Alpha, Noise, DMin, DMax, Side, Power float64
+		Seed                                        uint64
+		Topology                                    string
+	}{c.Networks, c.Links, c.TransmitSeeds, c.FadingSeeds, c.Probs,
+		c.Beta, c.Alpha, c.Noise, c.DMin, c.DMax, c.Side, c.Power,
+		c.Seed, c.Topology}
+}
+
+// Figure1ConfigSHA returns the run-identity hash of cfg — the value a
+// coordinator checks shard documents against and stores in the merged
+// checkpoint. Defaults are applied first, matching what workers compute.
+func Figure1ConfigSHA(cfg Figure1Config) (string, error) {
+	return ConfigHash(cfg.withDefaults().identityKey())
+}
+
 // Figure1Result carries the four success curves over the probability grid.
 type Figure1Result struct {
 	Probs  []float64
@@ -145,23 +173,32 @@ type Figure1Result struct {
 	Config Figure1Config
 }
 
-// RunFigure1 reproduces Figure 1: for each random network, each power
-// assignment, and each transmission probability, it draws transmit sets and
-// counts successes in the non-fading model (per transmit seed) and in the
-// Rayleigh model (per transmit seed × fading seed).
-func RunFigure1(cfg Figure1Config) *Figure1Result {
-	res, _ := RunFigure1Ctx(context.Background(), cfg)
-	return res
+// netResult is one replication's contribution: the four per-probability
+// curves measured on a single random network.
+type netResult struct {
+	curves map[string]*stats.Series
 }
 
-// RunFigure1Ctx is RunFigure1 with cooperative cancellation; it returns nil
-// and ctx.Err() when the context is cancelled before the run completes.
-func RunFigure1Ctx(ctx context.Context, cfg Figure1Config) (*Figure1Result, error) {
-	cfg = cfg.withDefaults()
-	ctx, finish := beginExperiment(ctx, "sim.figure1",
-		"networks", cfg.Networks, "links", cfg.Links, "topology", cfg.Topology,
-		"transmit_seeds", cfg.TransmitSeeds, "fading_seeds", cfg.FadingSeeds, "seed", cfg.Seed)
-	defer finish()
+// figure1Codec returns the encode/decode pair that round-trips a netResult
+// through JSON exactly (float64 survives encoding/json bit-for-bit) — the
+// representation shared by checkpoints and shard documents.
+func figure1Codec() (func(netResult) ([]byte, error), func([]byte) (netResult, error)) {
+	encode := func(nr netResult) ([]byte, error) { return json.Marshal(nr.curves) }
+	decode := func(data []byte) (netResult, error) {
+		var curves map[string]*stats.Series
+		if err := json.Unmarshal(data, &curves); err != nil {
+			return netResult{}, err
+		}
+		return netResult{curves: curves}, nil
+	}
+	return encode, decode
+}
+
+// replicationBody returns the Figure-1 per-network replication function,
+// shared verbatim by the full run, checkpoint resume, and shard execution —
+// one body, so the three paths cannot drift apart. The receiver must be
+// defaults-applied.
+func (cfg Figure1Config) replicationBody() func(rep int, src *rng.Source) netResult {
 	// Fixed order: iterating a map here would consume the replication's
 	// RNG stream in a map-iteration-dependent order and break determinism.
 	powers := []struct {
@@ -171,44 +208,7 @@ func RunFigure1Ctx(ctx context.Context, cfg Figure1Config) (*Figure1Result, erro
 		{"uniform", network.UniformPower{P: cfg.Power}},
 		{"sqrt", network.SquareRootPower{Scale: cfg.Power, Alpha: cfg.Alpha}},
 	}
-
-	type netResult struct {
-		curves map[string]*stats.Series
-	}
-	var ck *Checkpoint
-	if cfg.Checkpoint != "" {
-		// The identity key covers exactly the fields that determine the
-		// fixed-seed output; execution knobs (Workers, the checkpoint path
-		// itself) are deliberately excluded so a resume may change them.
-		key := struct {
-			Networks, Links, TransmitSeeds, FadingSeeds int
-			Probs                                       []float64
-			Beta, Alpha, Noise, DMin, DMax, Side, Power float64
-			Seed                                        uint64
-			Topology                                    string
-		}{cfg.Networks, cfg.Links, cfg.TransmitSeeds, cfg.FadingSeeds, cfg.Probs,
-			cfg.Beta, cfg.Alpha, cfg.Noise, cfg.DMin, cfg.DMax, cfg.Side, cfg.Power,
-			cfg.Seed, cfg.Topology}
-		var err error
-		ck, err = OpenCheckpoint(cfg.Checkpoint, "figure1", key, cfg.Networks, cfg.CheckpointEvery)
-		if err != nil {
-			return nil, err
-		}
-		if n := ck.Restored(); n > 0 {
-			activeLogger().Info("sim.figure1 resuming from checkpoint",
-				"path", cfg.Checkpoint, "restored", n, "total", cfg.Networks)
-		}
-	}
-	encode := func(nr netResult) ([]byte, error) { return json.Marshal(nr.curves) }
-	decode := func(data []byte) (netResult, error) {
-		var curves map[string]*stats.Series
-		if err := json.Unmarshal(data, &curves); err != nil {
-			return netResult{}, err
-		}
-		return netResult{curves: curves}, nil
-	}
-	base := rng.New(cfg.Seed)
-	perNet, perErr := ParallelCheckpointCtx(ctx, cfg.Networks, cfg.Workers, base, ck, encode, decode, func(rep int, src *rng.Source) netResult {
+	return func(rep int, src *rng.Source) netResult {
 		out := netResult{curves: map[string]*stats.Series{
 			CurveUniformNonFading: stats.NewSeries(cfg.Probs),
 			CurveUniformRayleigh:  stats.NewSeries(cfg.Probs),
@@ -244,7 +244,84 @@ func RunFigure1Ctx(ctx context.Context, cfg Figure1Config) (*Figure1Result, erro
 			}
 		}
 		return out
-	})
+	}
+}
+
+// RunFigure1 reproduces Figure 1: for each random network, each power
+// assignment, and each transmission probability, it draws transmit sets and
+// counts successes in the non-fading model (per transmit seed) and in the
+// Rayleigh model (per transmit seed × fading seed).
+func RunFigure1(cfg Figure1Config) *Figure1Result {
+	res, _ := RunFigure1Ctx(context.Background(), cfg)
+	return res
+}
+
+// RunFigure1ShardCtx computes only replications [lo, hi) of the Figure-1
+// experiment and returns them in the shard wire format. The per-replication
+// RNG streams are split exactly as RunFigure1Ctx splits them, so shard
+// results are bit-identical to the corresponding slice of a single-node run;
+// a coordinator merges shards covering [0, Networks) into a checkpoint the
+// single-node pipeline replays byte-identically. Worker parallelism within
+// the shard follows cfg.Workers.
+func RunFigure1ShardCtx(ctx context.Context, cfg Figure1Config, lo, hi int) (*Shard, error) {
+	cfg = cfg.withDefaults()
+	if lo < 0 || hi > cfg.Networks || lo >= hi {
+		return nil, fmt.Errorf("sim: figure 1 shard range [%d,%d) outside [0,%d)", lo, hi, cfg.Networks)
+	}
+	sha, err := ConfigHash(cfg.identityKey())
+	if err != nil {
+		return nil, err
+	}
+	ctx, finish := beginExperiment(ctx, "sim.figure1.shard",
+		"lo", lo, "hi", hi, "networks", cfg.Networks, "links", cfg.Links,
+		"topology", cfg.Topology, "seed", cfg.Seed)
+	defer finish()
+	out, err := ParallelShardCtx(ctx, cfg.Networks, lo, hi, cfg.Workers, rng.New(cfg.Seed), cfg.replicationBody())
+	if err != nil {
+		return nil, err
+	}
+	encode, _ := figure1Codec()
+	results := make(map[int]json.RawMessage, hi-lo)
+	for i, nr := range out {
+		data, err := encode(nr)
+		if err != nil {
+			return nil, fmt.Errorf("sim: encode shard replication %d: %w", lo+i, err)
+		}
+		results[lo+i] = data
+	}
+	return &Shard{
+		Experiment: ExperimentFigure1,
+		ConfigSHA:  sha,
+		Reps:       cfg.Networks,
+		Lo:         lo,
+		Hi:         hi,
+		Results:    results,
+	}, nil
+}
+
+// RunFigure1Ctx is RunFigure1 with cooperative cancellation; it returns nil
+// and ctx.Err() when the context is cancelled before the run completes.
+func RunFigure1Ctx(ctx context.Context, cfg Figure1Config) (*Figure1Result, error) {
+	cfg = cfg.withDefaults()
+	ctx, finish := beginExperiment(ctx, "sim.figure1",
+		"networks", cfg.Networks, "links", cfg.Links, "topology", cfg.Topology,
+		"transmit_seeds", cfg.TransmitSeeds, "fading_seeds", cfg.FadingSeeds, "seed", cfg.Seed)
+	defer finish()
+	var ck *Checkpoint
+	if cfg.Checkpoint != "" {
+		var err error
+		ck, err = OpenCheckpoint(cfg.Checkpoint, ExperimentFigure1, cfg.identityKey(), cfg.Networks, cfg.CheckpointEvery)
+		if err != nil {
+			return nil, err
+		}
+		if n := ck.Restored(); n > 0 {
+			activeLogger().Info("sim.figure1 resuming from checkpoint",
+				"path", cfg.Checkpoint, "restored", n, "total", cfg.Networks)
+		}
+	}
+	encode, decode := figure1Codec()
+	base := rng.New(cfg.Seed)
+	perNet, perErr := ParallelCheckpointCtx(ctx, cfg.Networks, cfg.Workers, base, ck, encode, decode, cfg.replicationBody())
 	if perErr != nil {
 		return nil, perErr
 	}

@@ -99,24 +99,54 @@ func ParallelCtx[T any](ctx context.Context, reps, workers int, base *rng.Source
 	if reps < 0 {
 		panic(fmt.Sprintf("sim: negative replication count %d", reps))
 	}
+	return parallelRange(ctx, 0, reps, workers, base.SplitN(reps), fn)
+}
+
+// ParallelShardCtx runs only the replication indices [lo, hi) of a reps-wide
+// index space, returning their results with results[i] holding replication
+// lo+i. The RNG streams for the FULL index space are split from base exactly
+// as ParallelCtx would split them, so the result for replication r is
+// bit-identical to what a full run computes for r — the property that lets a
+// cluster of workers each compute a shard and a coordinator merge the shards
+// into an artifact byte-identical to a single-node run.
+func ParallelShardCtx[T any](ctx context.Context, reps, lo, hi, workers int, base *rng.Source, fn func(rep int, src *rng.Source) T) ([]T, error) {
+	if reps < 0 {
+		panic(fmt.Sprintf("sim: negative replication count %d", reps))
+	}
+	if lo < 0 || hi > reps || lo > hi {
+		return nil, fmt.Errorf("sim: shard range [%d,%d) outside [0,%d)", lo, hi, reps)
+	}
+	return parallelRange(ctx, lo, hi, workers, base.SplitN(reps), fn)
+}
+
+// parallelRange is the shared fan-out behind ParallelCtx (lo=0, hi=reps) and
+// ParallelShardCtx: it runs the global replication indices [lo, hi) against
+// the pre-split per-replication streams srcs (indexed by global replication)
+// and stores results[r-lo].
+func parallelRange[T any](ctx context.Context, lo, hi, workers int, srcs []*rng.Source, fn func(rep int, src *rng.Source) T) ([]T, error) {
+	n := hi - lo
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers > reps {
-		workers = reps
+	if workers > n {
+		workers = n
 	}
-	results := make([]T, reps)
-	if reps == 0 {
+	results := make([]T, n)
+	if n == 0 {
 		return results, ctx.Err()
 	}
 	t := activeTracker()
-	t.AddTotal(reps)
+	t.AddTotal(n)
 	// The fan-out is one phase span; each replication is a detached span (its
 	// own trace track — concurrent siblings must not share a track, see
 	// obs.StartDetached). When no tracer is installed all of this is free.
 	ctx, fanSpan := obs.Start(ctx, "parallel.fanout")
-	fanSpan.SetAttr("reps", reps)
+	fanSpan.SetAttr("reps", n)
 	fanSpan.SetAttr("workers", workers)
+	if lo > 0 || hi < len(srcs) {
+		fanSpan.SetAttr("shard_lo", lo)
+		fanSpan.SetAttr("shard_hi", hi)
+	}
 	defer fanSpan.End()
 	runOne := func(r int, src *rng.Source) T {
 		_, sp := obs.StartDetached(ctx, "replication")
@@ -132,13 +162,12 @@ func ParallelCtx[T any](ctx context.Context, reps, workers int, base *rng.Source
 		sp.End()
 		return out
 	}
-	srcs := base.SplitN(reps)
 	if workers <= 1 {
-		for r := 0; r < reps; r++ {
+		for r := lo; r < hi; r++ {
 			if err := ctx.Err(); err != nil {
 				return results, err
 			}
-			results[r] = runOne(r, srcs[r])
+			results[r-lo] = runOne(r, srcs[r])
 			t.ReplicationDone()
 		}
 		return results, nil
@@ -163,11 +192,11 @@ func ParallelCtx[T any](ctx context.Context, reps, workers int, base *rng.Source
 				if ctx.Err() != nil {
 					return
 				}
-				r := int(next.Add(1)) - 1
-				if r >= reps {
+				r := lo + int(next.Add(1)) - 1
+				if r >= hi {
 					return
 				}
-				results[r] = runOne(r, srcs[r])
+				results[r-lo] = runOne(r, srcs[r])
 				t.ReplicationDone()
 			}
 		}()

@@ -1,0 +1,222 @@
+package sim
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sort"
+	"strconv"
+
+	"rayfade/internal/fsio"
+)
+
+// The shard wire format is the checkpoint format specialized to a contiguous
+// replication-index range: the same checksummed {body, sha256} envelope, the
+// same run-identity triple (experiment, config hash, replication count), plus
+// a [lo, hi) shard-range header and exactly the encoded results of that
+// range. A worker answers /v1/shard with one such document; the coordinator
+// validates every field before admitting the results into a merge, and the
+// merged map is written back out as an ordinary checkpoint file — which is
+// how a distributed run re-enters the single-node pipeline and produces a
+// byte-identical artifact.
+
+// shardSchema versions the shard document format, independently of the
+// checkpoint schema so either can move without invalidating the other.
+const shardSchema = 1
+
+var (
+	// ErrShardCorrupt reports a shard document whose envelope checksum,
+	// schema, or internal consistency (range bounds, result keys) failed
+	// validation — the document cannot be trusted at all.
+	ErrShardCorrupt = errors.New("sim: shard document is corrupt")
+	// ErrShardMismatch reports a structurally valid shard that belongs to a
+	// different run (experiment, config hash, or replication count differs).
+	// Merging it would splice results from incompatible RNG streams.
+	ErrShardMismatch = errors.New("sim: shard does not match this run")
+	// ErrShardOverlap reports two shards claiming the same replication
+	// index. Overlaps are rejected rather than resolved silently: identical
+	// duplicates would be benign, but an overlap usually means a coordinator
+	// bug (double lease) and must not be papered over.
+	ErrShardOverlap = errors.New("sim: shard ranges overlap")
+	// ErrShardGap reports a shard set whose union is not exactly [0, reps):
+	// a merge over it would silently drop replications.
+	ErrShardGap = errors.New("sim: shard ranges leave a gap")
+)
+
+// Shard is one worker's partial result: the encoded outputs of replications
+// [Lo, Hi) of a reps-wide run, bound to the run identity the checkpoint
+// format uses.
+type Shard struct {
+	Experiment string
+	ConfigSHA  string
+	Reps       int
+	Lo, Hi     int
+	Results    map[int]json.RawMessage // key: global replication index
+}
+
+// shardBody is the checksummed payload of a shard document.
+type shardBody struct {
+	Schema       int                        `json:"schema"`
+	Experiment   string                     `json:"experiment"`
+	ConfigSHA256 string                     `json:"config_sha256"`
+	Reps         int                        `json:"reps"`
+	Lo           int                        `json:"lo"`
+	Hi           int                        `json:"hi"`
+	Results      map[string]json.RawMessage `json:"results"` // key: decimal rep index
+}
+
+// validate checks the shard's internal consistency: sane range bounds and a
+// result for exactly every index in [Lo, Hi).
+func (s *Shard) validate() error {
+	if s.Reps < 0 || s.Lo < 0 || s.Hi > s.Reps || s.Lo >= s.Hi {
+		return fmt.Errorf("%w: range [%d,%d) outside [0,%d)", ErrShardCorrupt, s.Lo, s.Hi, s.Reps)
+	}
+	if len(s.Results) != s.Hi-s.Lo {
+		return fmt.Errorf("%w: %d results for range [%d,%d)", ErrShardCorrupt, len(s.Results), s.Lo, s.Hi)
+	}
+	for rep := s.Lo; rep < s.Hi; rep++ {
+		if _, ok := s.Results[rep]; !ok {
+			return fmt.Errorf("%w: missing replication %d in range [%d,%d)", ErrShardCorrupt, rep, s.Lo, s.Hi)
+		}
+	}
+	return nil
+}
+
+// Encode seals the shard into its wire document. Encoding is deterministic
+// (encoding/json sorts map keys), so the same results always yield the same
+// bytes — workers are interchangeable at the byte level.
+func (s *Shard) Encode() ([]byte, error) {
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	body := shardBody{
+		Schema:       shardSchema,
+		Experiment:   s.Experiment,
+		ConfigSHA256: s.ConfigSHA,
+		Reps:         s.Reps,
+		Lo:           s.Lo,
+		Hi:           s.Hi,
+		Results:      make(map[string]json.RawMessage, len(s.Results)),
+	}
+	for rep, data := range s.Results {
+		body.Results[strconv.Itoa(rep)] = data
+	}
+	doc, err := sealDocument(body)
+	if err != nil {
+		return nil, fmt.Errorf("sim: encode shard: %w", err)
+	}
+	return doc, nil
+}
+
+// DecodeShard opens a shard wire document, verifying the envelope checksum,
+// the schema, and the range/result consistency. It does NOT check the run
+// identity — that is the merge's job, which knows what run it is merging
+// for.
+func DecodeShard(data []byte) (*Shard, error) {
+	bodyJSON, err := openDocument(data)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrShardCorrupt, err)
+	}
+	var body shardBody
+	if err := json.Unmarshal(bodyJSON, &body); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrShardCorrupt, err)
+	}
+	if body.Schema != shardSchema {
+		return nil, fmt.Errorf("%w: schema %d, want %d", ErrShardCorrupt, body.Schema, shardSchema)
+	}
+	s := &Shard{
+		Experiment: body.Experiment,
+		ConfigSHA:  body.ConfigSHA256,
+		Reps:       body.Reps,
+		Lo:         body.Lo,
+		Hi:         body.Hi,
+		Results:    make(map[int]json.RawMessage, len(body.Results)),
+	}
+	for key, data := range body.Results {
+		rep, err := strconv.Atoi(key)
+		if err != nil || rep < s.Lo || rep >= s.Hi {
+			return nil, fmt.Errorf("%w: result key %q outside range [%d,%d)", ErrShardCorrupt, key, s.Lo, s.Hi)
+		}
+		s.Results[rep] = data
+	}
+	if err := s.validate(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// MergeShards combines shards of the identified run into one complete
+// per-replication result map. Every shard must carry the expected identity
+// (ErrShardMismatch otherwise), no two shards may overlap (ErrShardOverlap),
+// and together they must cover [0, reps) exactly (ErrShardGap). The merge is
+// deterministic in shard arrival order: results are keyed by replication
+// index, so any shard order yields the same map.
+func MergeShards(experiment, configSHA string, reps int, shards []*Shard) (map[int]json.RawMessage, error) {
+	for _, s := range shards {
+		if err := s.validate(); err != nil {
+			return nil, err
+		}
+		if s.Experiment != experiment {
+			return nil, fmt.Errorf("%w: experiment %q, want %q", ErrShardMismatch, s.Experiment, experiment)
+		}
+		if s.ConfigSHA != configSHA {
+			return nil, fmt.Errorf("%w: config hash %.12s…, want %.12s…", ErrShardMismatch, s.ConfigSHA, configSHA)
+		}
+		if s.Reps != reps {
+			return nil, fmt.Errorf("%w: %d replications, want %d", ErrShardMismatch, s.Reps, reps)
+		}
+	}
+	ordered := make([]*Shard, len(shards))
+	copy(ordered, shards)
+	sort.Slice(ordered, func(a, b int) bool { return ordered[a].Lo < ordered[b].Lo })
+	next := 0
+	for _, s := range ordered {
+		if s.Lo < next {
+			return nil, fmt.Errorf("%w: [%d,%d) collides at replication %d", ErrShardOverlap, s.Lo, s.Hi, s.Lo)
+		}
+		if s.Lo > next {
+			return nil, fmt.Errorf("%w: replications [%d,%d) uncovered", ErrShardGap, next, s.Lo)
+		}
+		next = s.Hi
+	}
+	if next != reps {
+		return nil, fmt.Errorf("%w: replications [%d,%d) uncovered", ErrShardGap, next, reps)
+	}
+	merged := make(map[int]json.RawMessage, reps)
+	for _, s := range ordered {
+		for rep, data := range s.Results {
+			merged[rep] = data
+		}
+	}
+	return merged, nil
+}
+
+// WriteMergedCheckpoint writes results — a complete per-replication map for
+// the identified run, typically the output of MergeShards — to path in the
+// checkpoint file format. A run opened against that file (OpenCheckpoint
+// with the matching identity, then ParallelCheckpointCtx) restores every
+// replication and recomputes nothing, which is how a coordinator turns
+// merged shards into the byte-identical single-node artifact.
+func WriteMergedCheckpoint(path, experiment, configSHA string, reps int, results map[int]json.RawMessage) error {
+	if len(results) != reps {
+		return fmt.Errorf("sim: merged checkpoint holds %d of %d replications", len(results), reps)
+	}
+	body := checkpointBody{
+		Schema:       checkpointSchema,
+		Experiment:   experiment,
+		ConfigSHA256: configSHA,
+		Reps:         reps,
+		Results:      make(map[string]json.RawMessage, len(results)),
+	}
+	for rep, data := range results {
+		if rep < 0 || rep >= reps {
+			return fmt.Errorf("sim: merged checkpoint replication %d outside [0,%d)", rep, reps)
+		}
+		body.Results[strconv.Itoa(rep)] = data
+	}
+	doc, err := sealDocument(body)
+	if err != nil {
+		return fmt.Errorf("sim: encode merged checkpoint: %w", err)
+	}
+	return fsio.WriteFileAtomic(path, doc, 0o644)
+}

@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Cluster smoke: three local rayschedd workers, one SIGKILL'd mid-run. The
+# coordinator must reassign the killed worker's shards and the merged CSV
+# must be byte-identical to a single-node run — verified with cmp, no
+# tolerance. Used by `make cluster` and the ci cluster-smoke job.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+dir=$(mktemp -d)
+cleanup() {
+  # shellcheck disable=SC2046  # word-splitting is the point: one PID per arg
+  kill $(jobs -p) 2>/dev/null || true
+  rm -rf "$dir"
+}
+trap cleanup EXIT
+
+go build -o "$dir/rayschedd" ./cmd/rayschedd
+go build -o "$dir/raysched" ./cmd/raysched
+
+params=(-networks 6 -links 16 -txseeds 2 -fadeseeds 2 -points 3 -seed 7)
+urls=http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083
+
+# Worker 1 is armed with replication delay faults (3s per replication, every
+# replication) so it is reliably still computing its first shard when the
+# SIGKILL lands.
+"$dir/rayschedd" -addr 127.0.0.1:18081 -log-level off \
+  -faults "seed=1,sim.replication=delay:1:3s" & w1=$!
+"$dir/rayschedd" -addr 127.0.0.1:18082 -log-level off &
+"$dir/rayschedd" -addr 127.0.0.1:18083 -log-level off &
+
+# Wait until every worker accepts connections (pure-bash TCP probe).
+for port in 18081 18082 18083; do
+  for _ in $(seq 1 100); do
+    if (exec 3<>"/dev/tcp/127.0.0.1/$port") 2>/dev/null; then
+      exec 3>&- 3<&-
+      break
+    fi
+    sleep 0.1
+  done
+done
+
+"$dir/raysched" figure1 "${params[@]}" -out "$dir/single.csv"
+
+# Kill worker 1 one second into the distributed run — mid-shard, since its
+# first replication alone takes 3s. Its leased shard must be reassigned.
+( sleep 1; kill -9 "$w1" 2>/dev/null || true ) &
+
+"$dir/raysched" cluster "${params[@]}" \
+  -workers "$urls" \
+  -shard-size 1 -lease 5s -max-attempts 30 \
+  -out "$dir/cluster.csv" 2> "$dir/cluster.log"
+cat "$dir/cluster.log" >&2
+
+# The kill must have actually cost the coordinator a shard: a run that shows
+# zero reassignments finished before the chaos landed and proves nothing.
+if grep -q ' 0 reassigned,' "$dir/cluster.log"; then
+  echo "cluster-smoke: FAIL — the killed worker never lost a shard" >&2
+  exit 1
+fi
+
+cmp "$dir/single.csv" "$dir/cluster.csv"
+echo "cluster-smoke: merged output byte-identical to single-node run (one worker killed mid-shard)"
