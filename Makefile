@@ -3,7 +3,7 @@
 GO ?= go
 LABEL ?= local
 
-.PHONY: all build vet test race bench bench-json bench-compare golden golden-check trace-smoke chaos cluster cover figures results serve fuzz clean
+.PHONY: all build vet test race bench bench-json bench-compare throughput lint golden golden-check trace-smoke chaos cluster cover figures results serve fuzz clean
 
 all: build vet test
 
@@ -33,6 +33,19 @@ bench-json:
 bench-compare:
 	$(GO) run ./cmd/raybench run -quick -label compare-tmp -out /tmp/BENCH_compare-tmp.json
 	$(GO) run ./cmd/raybench compare -metric allocs -threshold 0.40 results/BENCH_seed.json /tmp/BENCH_compare-tmp.json
+
+# Batched-path throughput gate (CI's throughput-smoke job): the NDJSON
+# batch endpoint must serve at least 5x the per-request estimates/sec.
+# Self-relative — both sides are measured here, moments apart — so the
+# gate means the same thing on a laptop and in CI.
+throughput:
+	$(GO) run ./cmd/raybench throughput -min-ratio 5.0
+
+# Formatting gate (CI's lint job also runs staticcheck + govulncheck,
+# which need network to install; this target is the offline part).
+lint:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
 
 # Regenerate the golden determinism manifest (after an intentional change
 # to any experiment's fixed-seed output).

@@ -55,6 +55,8 @@ func main() {
 		err = cmdRun(ctx, os.Args[2:])
 	case "scaling":
 		err = cmdScaling(ctx, os.Args[2:])
+	case "throughput":
+		err = cmdThroughput(ctx, os.Args[2:])
 	case "compare":
 		err = cmdCompare(os.Args[2:])
 	case "golden":
@@ -86,6 +88,7 @@ func usage() {
 subcommands:
   run         measure the benchmark suite and write BENCH_<label>.json
   scaling     measure the worker-scaling scenarios and gate on the speedup
+  throughput  measure batch vs per-request estimate throughput and gate on the ratio
   compare     compare two BENCH files; exit 1 on regressions beyond the threshold
   golden      hash fixed-seed experiment outputs; -check verifies the manifest
   tracecheck  validate Chrome trace-event JSON files (-nested requires span nesting)
@@ -188,6 +191,9 @@ func cmdRun(ctx context.Context, args []string) error {
 		}
 		start := time.Now()
 		s := benchio.Measure(sc.name, opts, op)
+		if sc.units > 1 {
+			s.UnitsPerOp = float64(sc.units)
+		}
 		cleanup()
 		if *traceDir != "" {
 			s, err = tracePass(sc, s, *traceDir)
@@ -281,6 +287,65 @@ func cmdScaling(ctx context.Context, args []string) error {
 	if speedup < *minSpeedup {
 		return fmt.Errorf("scaling gate failed: workers=%d only %.2fx over workers=%d, want ≥%.2fx",
 			widest.width, speedup, base.width, *minSpeedup)
+	}
+	return nil
+}
+
+// cmdThroughput measures the batched estimate path against the per-request
+// path and gates on the estimates/sec ratio. Like cmdScaling it needs no
+// baseline file: both sides are measured in the same process on the same
+// machine moments apart, so the ratio is self-relative and machine-
+// independent — a laptop and a CI runner gate on the same number even
+// though their absolute throughputs differ by an order of magnitude.
+//
+// Both scenarios run cache-hot (the per-request baseline is
+// server/estimate-cache-hit, the best case the single-request framing can
+// offer), so the ratio isolates what batching actually removes: per-request
+// HTTP round trips, connection handling, and envelope work. Gating the
+// batch against the per-request path's *best* case keeps the gate honest —
+// beating a cache-missing baseline would be trivial.
+func cmdThroughput(ctx context.Context, args []string) error {
+	fs := flag.NewFlagSet("throughput", flag.ExitOnError)
+	minRatio := fs.Float64("min-ratio", 5.0, "required batched-over-per-request estimates/sec ratio")
+	reps := fs.Int("reps", 3, "timed repetitions per scenario")
+	minTime := fs.Duration("mintime", 25*time.Millisecond, "per-rep wall-time target")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	const (
+		baseName  = "server/estimate-cache-hit"
+		batchName = "server/batch-throughput"
+	)
+	rates := map[string]float64{}
+	for _, sc := range scenarios() {
+		if sc.name != baseName && sc.name != batchName {
+			continue
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		op, cleanup, err := sc.setup()
+		if err != nil {
+			return fmt.Errorf("setup %s: %w", sc.name, err)
+		}
+		s := benchio.Measure(sc.name, benchio.Options{WarmupIters: 1, Reps: *reps, MinTime: *minTime}, op)
+		cleanup()
+		units := float64(sc.units)
+		if units < 1 {
+			units = 1
+		}
+		rates[sc.name] = s.OpsPerSec * units
+		fmt.Fprintf(os.Stderr, "%-44s %12.0f ns/op %10.0f estimates/s\n", sc.name, s.NsPerOp, rates[sc.name])
+	}
+	base, batch := rates[baseName], rates[batchName]
+	if base <= 0 || batch <= 0 {
+		return fmt.Errorf("throughput: non-positive measurement (%s: %g/s, %s: %g/s)",
+			baseName, base, batchName, batch)
+	}
+	ratio := batch / base
+	fmt.Printf("throughput: batch serves %.2fx the per-request estimates/sec (gate: ≥%.2fx)\n", ratio, *minRatio)
+	if ratio < *minRatio {
+		return fmt.Errorf("throughput gate failed: batch only %.2fx the per-request path, want ≥%.2fx", ratio, *minRatio)
 	}
 	return nil
 }
@@ -409,10 +474,25 @@ func cmdCompare(args []string) error {
 		}
 	}
 	if res.Failed() {
-		return fmt.Errorf("%d regression(s) beyond ±%.0f%% and/or %d missing scenario(s)",
-			len(res.Regressions()), *threshold*100, len(res.Missing))
+		// Name only the failure causes that actually occurred: "0 missing
+		// scenario(s)" next to real regressions (or vice versa) reads as if
+		// both gates tripped.
+		var causes []string
+		if n := len(res.Regressions()); n > 0 {
+			causes = append(causes, fmt.Sprintf("%d regression(s) beyond ±%.0f%%", n, *threshold*100))
+		}
+		if n := len(res.Missing); n > 0 {
+			causes = append(causes, fmt.Sprintf("%d scenario(s) missing from the new report", n))
+		}
+		return errors.New(strings.Join(causes, " and "))
 	}
-	fmt.Printf("no regressions beyond ±%.0f%% (%s)\n", *threshold*100, *metric)
+	fmt.Printf("no regressions beyond ±%.0f%% (%s)", *threshold*100, *metric)
+	if n := len(res.Added); n > 0 {
+		// New scenarios have no baseline to gate against; say so explicitly
+		// so their listing above is not mistaken for a problem.
+		fmt.Printf("; %d new scenario(s) without a baseline, not gated", n)
+	}
+	fmt.Println()
 	return nil
 }
 

@@ -12,6 +12,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -35,6 +36,11 @@ import (
 type scenario struct {
 	name  string
 	quick bool
+	// units is how many logical units of work one op covers (batch lines,
+	// fan width); 0 means 1. Recorded as the report's UnitsPerOp so
+	// throughput gates can compare units/sec across differently-framed
+	// scenarios.
+	units int
 	// setup builds the op under test and a cleanup (never nil). Errors
 	// abort the whole run — a half-measured suite is worse than none.
 	setup func() (op func(), cleanup func(), err error)
@@ -166,9 +172,153 @@ func scenarios() []scenario {
 				return server.BenchEstimateRequest(topo, 100, 1)
 			}, false)
 		}},
+		scenario{name: "server/session-hit", quick: true, setup: func() (func(), func(), error) {
+			// The same cache-hit steady state as estimate-cache-hit, but the
+			// topology rides as a session ref: the delta between the two
+			// scenarios is the per-request cost of inline parse + re-canonicalize
+			// that POST /v1/topology amortizes away.
+			return sessionServerOp(server.Config{}, func(ref string) ([]byte, error) {
+				return server.BenchEstimateRefRequest(ref, 100, 1)
+			})
+		}},
+		scenario{name: "server/singleflight", quick: true, units: singleflightFan, setup: singleflightOp},
+		scenario{name: "server/batch-throughput", quick: true, units: batchLines, setup: batchThroughputOp},
 		scenario{name: "server/goodput-under-faults", quick: false, setup: goodputUnderFaultsOp},
 	)
 	return list
+}
+
+const (
+	// singleflightFan is the burst width of server/singleflight: identical
+	// concurrent requests per op, of which one computes and the rest share.
+	singleflightFan = 8
+	// batchLines is the request count of one server/batch-throughput op.
+	// Kept well under the scenario's cache size so a steady-state batch is
+	// all cache hits (the framing cost is what the scenario isolates).
+	batchLines = 256
+)
+
+// startBenchServer boots an httptest rayschedd and registers the standard
+// 40-link bench topology as a session, returning the base URL, the session
+// ref, and a cleanup.
+func startBenchServer(cfg server.Config) (ts *httptest.Server, ref string, cleanup func(), err error) {
+	srv := server.New(cfg)
+	ts = httptest.NewServer(srv)
+	cleanup = func() {
+		ts.Close()
+		srv.Close()
+	}
+	topo, err := server.BenchTopology(40, 1)
+	if err != nil {
+		cleanup()
+		return nil, "", nil, err
+	}
+	resp, err := ts.Client().Post(ts.URL+"/v1/topology", "application/json", bytes.NewReader(topo))
+	if err != nil {
+		cleanup()
+		return nil, "", nil, err
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		cleanup()
+		return nil, "", nil, fmt.Errorf("upload bench topology: status %d", resp.StatusCode)
+	}
+	return ts, server.TopologyRef(topo), cleanup, nil
+}
+
+// sessionServerOp starts a rayschedd with the bench topology registered and
+// returns an op posting one fixed session-ref /v1/estimate request.
+func sessionServerOp(cfg server.Config, body func(ref string) ([]byte, error)) (func(), func(), error) {
+	ts, ref, cleanup, err := startBenchServer(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err := body(ref)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	httpc := ts.Client()
+	op := func() {
+		resp, err := httpc.Post(ts.URL+"/v1/estimate", "application/json", bytes.NewReader(payload))
+		if err != nil {
+			panic(fmt.Sprintf("raybench: session scenario: %v", err))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("raybench: session scenario: status %d", resp.StatusCode))
+		}
+	}
+	return op, cleanup, nil
+}
+
+// singleflightOp measures the collapse of concurrent identical computations:
+// one op fires singleflightFan identical requests at a cache-disabled daemon,
+// so every burst recomputes — once — and the rest ride the flight. Caching is
+// off precisely so the singleflight path (not the LRU) is what answers.
+func singleflightOp() (func(), func(), error) {
+	ts, ref, cleanup, err := startBenchServer(server.Config{CacheSize: -1})
+	if err != nil {
+		return nil, nil, err
+	}
+	payload, err := server.BenchEstimateRefRequest(ref, 100, 1)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	httpc := ts.Client()
+	op := func() {
+		var wg sync.WaitGroup
+		for i := 0; i < singleflightFan; i++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				resp, err := httpc.Post(ts.URL+"/v1/estimate", "application/json", bytes.NewReader(payload))
+				if err != nil {
+					panic(fmt.Sprintf("raybench: singleflight scenario: %v", err))
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					panic(fmt.Sprintf("raybench: singleflight scenario: status %d", resp.StatusCode))
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return op, cleanup, nil
+}
+
+// batchThroughputOp measures the NDJSON batch endpoint in its steady state:
+// one op posts a batchLines-line batch against the session topology. The
+// cache is sized above the batch so after the first (warmup) pass every line
+// is a hit — the measurement isolates framing and per-line dispatch, which
+// is exactly what batching amortizes against the per-request path.
+func batchThroughputOp() (func(), func(), error) {
+	ts, ref, cleanup, err := startBenchServer(server.Config{CacheSize: 1024})
+	if err != nil {
+		return nil, nil, err
+	}
+	body, err := server.BenchBatchBody(ref, 100, batchLines)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	httpc := ts.Client()
+	op := func() {
+		resp, err := httpc.Post(ts.URL+"/v1/estimate/batch", "application/x-ndjson", bytes.NewReader(body))
+		if err != nil {
+			panic(fmt.Sprintf("raybench: batch scenario: %v", err))
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			panic(fmt.Sprintf("raybench: batch scenario: status %d", resp.StatusCode))
+		}
+	}
+	return op, cleanup, nil
 }
 
 // goodputUnderFaultsOp measures end-to-end goodput against a flaky daemon:

@@ -46,6 +46,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		maxTimeout  = fs.Duration("max-timeout", 5*time.Minute, "cap on request-supplied timeout_ms")
 		maxLinks    = fs.Int("max-links", 5000, "largest accepted topology (links)")
 		maxBody     = fs.Int64("max-body", 16<<20, "largest accepted request body (bytes)")
+		sessions    = fs.Int("sessions", 128, "topology session entries (0 disables the session API)")
+		batchLines  = fs.Int("batch-lines", 10000, "largest accepted /v1/estimate/batch request (lines)")
 		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
 		logLevel    = fs.String("log-level", "info", "access-log level: debug, info, warn, error, or off")
 		debug       = fs.Bool("debug", false, "mount /debug/obs and /debug/pprof/ (exposes runtime internals)")
@@ -79,6 +81,10 @@ func run(args []string, stdout, stderr *os.File) int {
 	if cache == 0 {
 		cache = -1 // flag semantics: 0 disables; Config uses negative for that
 	}
+	sess := *sessions
+	if sess == 0 {
+		sess = -1
+	}
 	// The daemon logs JSON records (one access-log line per request) so the
 	// output is machine-collectable; "off" keeps the pre-observability
 	// silence.
@@ -97,6 +103,8 @@ func run(args []string, stdout, stderr *os.File) int {
 		CacheSize:      cache,
 		MaxLinks:       *maxLinks,
 		MaxBodyBytes:   *maxBody,
+		MaxSessions:    sess,
+		MaxBatchLines:  *batchLines,
 		DefaultTimeout: *timeout,
 		MaxTimeout:     *maxTimeout,
 		Log:            log,

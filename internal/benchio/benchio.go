@@ -77,6 +77,11 @@ type Scenario struct {
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	// OpsPerSec is 1e9/NsPerOp — the throughput reading of the same number.
 	OpsPerSec float64 `json:"ops_per_sec"`
+	// UnitsPerOp is how many logical units of work one operation covers —
+	// e.g. the line count of a batch request, or the fan width of a
+	// concurrent burst. Omitted (meaning 1) for plain scenarios. Throughput
+	// in units/sec is OpsPerSec times this.
+	UnitsPerOp float64 `json:"units_per_op,omitempty"`
 	// Iters is the calibrated iteration count each rep ran; Reps is how
 	// many timed reps contributed.
 	Iters int `json:"iters"`

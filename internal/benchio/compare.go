@@ -222,7 +222,7 @@ func (c *CompareResult) WriteText(w io.Writer) error {
 		}
 	}
 	for _, name := range c.Added {
-		if _, err := fmt.Fprintf(w, "%-40s added (no baseline)\n", name); err != nil {
+		if _, err := fmt.Fprintf(w, "%-40s new in this report (informational; no baseline to gate against)\n", name); err != nil {
 			return err
 		}
 	}

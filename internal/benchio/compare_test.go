@@ -145,6 +145,33 @@ func TestCompareMissingScenarioFails(t *testing.T) {
 	}
 }
 
+// TestCompareAddedScenariosDoNotGate: a PR that introduces new scenarios
+// must pass cleanly — additions have no baseline and are informational, not
+// a failure — and the text output must say so rather than hinting at a
+// missing-scenario problem.
+func TestCompareAddedScenariosDoNotGate(t *testing.T) {
+	old := report(Scenario{Name: "kept", NsPerOp: 100})
+	new := report(Scenario{Name: "kept", NsPerOp: 100}, Scenario{Name: "brand-new", NsPerOp: 100})
+	c := Compare(old, new, MetricTime, 0.40)
+	if len(c.Added) != 1 || len(c.Missing) != 0 {
+		t.Fatalf("Added = %v, Missing = %v", c.Added, c.Missing)
+	}
+	if c.Failed() {
+		t.Fatal("new-in-PR scenarios must not fail the gate")
+	}
+	var sb strings.Builder
+	if err := c.WriteText(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "brand-new") || !strings.Contains(out, "informational") {
+		t.Fatalf("added scenario not reported as informational:\n%s", out)
+	}
+	if strings.Contains(out, "MISSING") {
+		t.Fatalf("addition mislabeled as missing:\n%s", out)
+	}
+}
+
 func TestCompareDefaultsThresholdAndMetric(t *testing.T) {
 	old := report(Scenario{Name: "k", NsPerOp: 100})
 	new := report(Scenario{Name: "k", NsPerOp: 115}) // +15% > default 10%

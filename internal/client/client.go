@@ -164,6 +164,19 @@ func parseRetryAfter(resp *http.Response) time.Duration {
 // error — the caller distinguishes application failures from transport
 // failure; err is non-nil only when the budget is exhausted or ctx ends.
 func (c *Client) PostJSON(ctx context.Context, path string, body []byte) ([]byte, int, error) {
+	return c.post(ctx, path, "application/json", body)
+}
+
+// PostNDJSON posts an NDJSON body (one JSON document per line) to path under
+// the same retry policy as PostJSON. Retrying a whole batch is safe: every
+// rayschedd batch line is deterministic and cached, so a replay returns
+// byte-identical lines.
+func (c *Client) PostNDJSON(ctx context.Context, path string, body []byte) ([]byte, int, error) {
+	return c.post(ctx, path, "application/x-ndjson", body)
+}
+
+// post is the shared retry loop behind PostJSON and PostNDJSON.
+func (c *Client) post(ctx context.Context, path, contentType string, body []byte) ([]byte, int, error) {
 	c.requests.Add(1)
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
@@ -176,7 +189,7 @@ func (c *Client) PostJSON(ctx context.Context, path string, body []byte) ([]byte
 			c.failures.Add(1)
 			return nil, 0, err
 		}
-		req.Header.Set("Content-Type", "application/json")
+		req.Header.Set("Content-Type", contentType)
 		resp, err := c.http.Do(req)
 		var (
 			status     int

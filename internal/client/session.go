@@ -1,0 +1,86 @@
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+)
+
+// TopologySession is the server's answer to a topology upload: the handle
+// compute requests pass as "topology_ref" in place of the inline document.
+type TopologySession struct {
+	// Ref is the content-derived handle ("sha256:<hex>"); stable across
+	// re-uploads and across daemons.
+	Ref string `json:"topology_ref"`
+	// Links is the validated topology size.
+	Links int `json:"links"`
+	// Created is false when the daemon already held this topology.
+	Created bool `json:"created"`
+}
+
+// UploadTopology registers a netio topology document with the daemon and
+// returns its session handle. Because refs are content-derived, uploading is
+// idempotent — callers may re-upload freely after a 404 on topology_ref
+// (the store is a bounded LRU; entries can be evicted).
+func (c *Client) UploadTopology(ctx context.Context, topology []byte) (TopologySession, error) {
+	body, status, err := c.PostJSON(ctx, "/v1/topology", topology)
+	if err != nil {
+		return TopologySession{}, err
+	}
+	if status != http.StatusOK {
+		return TopologySession{}, fmt.Errorf("client: upload topology: %s", serverError(status, body))
+	}
+	var sess TopologySession
+	if err := json.Unmarshal(body, &sess); err != nil {
+		return TopologySession{}, fmt.Errorf("client: upload topology: decode response: %w", err)
+	}
+	return sess, nil
+}
+
+// EstimateBatch posts the given request documents (one per NDJSON line) to
+// /v1/estimate/batch and returns one response line per request, in order.
+// Each returned line is either the byte-identical /v1/estimate success body
+// or an {"error": ...} document; telling them apart is the caller's job
+// (batches report per-line failures in-band, not by HTTP status).
+func (c *Client) EstimateBatch(ctx context.Context, requests [][]byte) ([][]byte, error) {
+	if len(requests) == 0 {
+		return nil, fmt.Errorf("client: estimate batch: no requests")
+	}
+	var buf bytes.Buffer
+	for _, r := range requests {
+		buf.Write(bytes.TrimSpace(r))
+		buf.WriteByte('\n')
+	}
+	body, status, err := c.PostNDJSON(ctx, "/v1/estimate/batch", buf.Bytes())
+	if err != nil {
+		return nil, err
+	}
+	if status != http.StatusOK {
+		return nil, fmt.Errorf("client: estimate batch: %s", serverError(status, body))
+	}
+	var lines [][]byte
+	for _, line := range bytes.Split(body, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		lines = append(lines, line)
+	}
+	if len(lines) != len(requests) {
+		return lines, fmt.Errorf("client: estimate batch: sent %d lines, got %d back", len(requests), len(lines))
+	}
+	return lines, nil
+}
+
+// serverError renders a non-2xx response for error messages, preferring the
+// daemon's JSON error text over raw bytes.
+func serverError(status int, body []byte) string {
+	var eb struct {
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(body, &eb); err == nil && eb.Error != "" {
+		return fmt.Sprintf("status %d: %s", status, eb.Error)
+	}
+	return fmt.Sprintf("status %d: %s", status, bytes.TrimSpace(body))
+}

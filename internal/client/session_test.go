@@ -1,0 +1,137 @@
+package client
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestUploadTopology(t *testing.T) {
+	var gotBody []byte
+	var gotContentType string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/topology" {
+			t.Errorf("path %q", r.URL.Path)
+		}
+		gotBody, _ = io.ReadAll(r.Body)
+		gotContentType = r.Header.Get("Content-Type")
+		w.Write([]byte(`{"topology_ref":"sha256:abc","links":12,"created":true}`))
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(t, ts, Config{})
+
+	sess, err := c.UploadTopology(context.Background(), []byte(`{"links":[]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sess.Ref != "sha256:abc" || sess.Links != 12 || !sess.Created {
+		t.Fatalf("session %+v", sess)
+	}
+	if string(gotBody) != `{"links":[]}` || gotContentType != "application/json" {
+		t.Fatalf("sent body %q with content type %q", gotBody, gotContentType)
+	}
+}
+
+func TestUploadTopologySurfacesServerError(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"topology: bad gain"}`, http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(t, ts, Config{})
+
+	_, err := c.UploadTopology(context.Background(), []byte(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "bad gain") || !strings.Contains(err.Error(), "400") {
+		t.Fatalf("err %v, want the daemon's message and status", err)
+	}
+}
+
+func TestEstimateBatch(t *testing.T) {
+	var gotBody []byte
+	var gotContentType string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/v1/estimate/batch" {
+			t.Errorf("path %q", r.URL.Path)
+		}
+		gotBody, _ = io.ReadAll(r.Body)
+		gotContentType = r.Header.Get("Content-Type")
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte("{\"mean\":1}\n{\"error\":\"decode line\"}\n{\"mean\":2}\n"))
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(t, ts, Config{})
+
+	lines, err := c.EstimateBatch(context.Background(), [][]byte{
+		[]byte(`{"seed":1}`), []byte(` {"seed":2} `), []byte(`{"seed":3}`),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 3 || string(lines[1]) != `{"error":"decode line"}` {
+		t.Fatalf("lines %q", lines)
+	}
+	// Requests are framed one per line, whitespace normalized.
+	if want := "{\"seed\":1}\n{\"seed\":2}\n{\"seed\":3}\n"; string(gotBody) != want {
+		t.Fatalf("sent %q, want %q", gotBody, want)
+	}
+	if gotContentType != "application/x-ndjson" {
+		t.Fatalf("content type %q", gotContentType)
+	}
+}
+
+func TestEstimateBatchLineCountMismatch(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		io.Copy(io.Discard, r.Body)
+		w.Write([]byte("{\"mean\":1}\n"))
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(t, ts, Config{})
+
+	lines, err := c.EstimateBatch(context.Background(), [][]byte{[]byte(`{"seed":1}`), []byte(`{"seed":2}`)})
+	if err == nil || !strings.Contains(err.Error(), "got 1 back") {
+		t.Fatalf("err %v, want line-count mismatch", err)
+	}
+	// The truncated lines are still returned for inspection.
+	if len(lines) != 1 {
+		t.Fatalf("%d lines returned alongside the error", len(lines))
+	}
+}
+
+func TestEstimateBatchEmpty(t *testing.T) {
+	c := New(Config{BaseURL: "http://unreachable.invalid"})
+	if _, err := c.EstimateBatch(context.Background(), nil); err == nil {
+		t.Fatal("empty batch must fail client-side")
+	}
+}
+
+// TestEstimateBatchRetriesOn429: batches ride the same retry policy as
+// single requests — a shed (429 + Retry-After) is retried, not surfaced.
+func TestEstimateBatchRetriesOn429(t *testing.T) {
+	var calls int
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls++
+		io.Copy(io.Discard, r.Body)
+		if calls == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		w.Write([]byte("{\"mean\":1}\n"))
+	}))
+	defer ts.Close()
+	c, sleeps := newTestClient(t, ts, Config{})
+
+	lines, err := c.EstimateBatch(context.Background(), [][]byte{[]byte(`{"seed":1}`)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls != 2 || len(lines) != 1 {
+		t.Fatalf("calls %d, lines %d", calls, len(lines))
+	}
+	if len(sleeps.delays) != 1 || sleeps.delays[0] < time.Second {
+		t.Fatalf("backoff %v must honor Retry-After", sleeps.delays)
+	}
+}

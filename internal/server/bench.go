@@ -48,6 +48,37 @@ func BenchEstimateRequest(topology []byte, samples int, seed uint64) ([]byte, er
 	return body, nil
 }
 
+// BenchEstimateRefRequest builds a /v1/estimate request body that references
+// a session topology by ref instead of inlining it.
+func BenchEstimateRefRequest(ref string, samples int, seed uint64) ([]byte, error) {
+	body, err := json.Marshal(estimateRequest{
+		TopologyRef: ref,
+		Samples:     samples,
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: bench estimate ref request: %w", err)
+	}
+	return body, nil
+}
+
+// BenchBatchBody builds an NDJSON /v1/estimate/batch body of lines estimate
+// requests against the session topology ref. Seeds run 1..lines so each line
+// is a distinct computation (distinct cache keys) on the first pass and a
+// cache hit on every later pass.
+func BenchBatchBody(ref string, samples, lines int) ([]byte, error) {
+	var buf bytes.Buffer
+	for i := 0; i < lines; i++ {
+		line, err := BenchEstimateRefRequest(ref, samples, uint64(i+1))
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
 // BenchScheduleRequest wraps a BenchTopology payload into a complete
 // /v1/schedule request body for the given algorithm ("" selects greedy).
 func BenchScheduleRequest(topology []byte, algorithm string) ([]byte, error) {

@@ -1,0 +1,59 @@
+package server
+
+import "sync"
+
+// flightGroup collapses concurrent identical computations ("singleflight"):
+// the first request for a key becomes the leader and computes; requests that
+// arrive for the same key while the leader is in flight become followers and
+// receive the leader's exact response bytes instead of occupying pool slots
+// with duplicate work. Keys are the same canonical request hashes the
+// response cache uses, so "identical" means identical (topology, params,
+// seed) — exactly the requests whose responses are byte-identical by the
+// daemon's determinism contract.
+//
+// The group tracks only in-flight work. Completed results live in the LRU
+// cache; a flight is removed the moment it finishes so late arrivals go
+// through the cache (or start a fresh flight) rather than reading a stale
+// entry here.
+type flightGroup struct {
+	mu      sync.Mutex
+	flights map[string]*flight
+}
+
+// flight is one in-progress computation. done is closed exactly once, after
+// body and err have been published by finish.
+type flight struct {
+	done chan struct{}
+	body []byte
+	err  error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{flights: make(map[string]*flight)}
+}
+
+// join returns the flight for key, creating one when none is in progress.
+// leader is true for the caller that must compute and then finish the
+// flight; followers wait on fl.done.
+func (g *flightGroup) join(key string) (fl *flight, leader bool) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if fl, ok := g.flights[key]; ok {
+		return fl, false
+	}
+	fl = &flight{done: make(chan struct{})}
+	g.flights[key] = fl
+	return fl, true
+}
+
+// finish publishes the leader's result and wakes every follower. The flight
+// is unregistered before done closes so a request arriving after completion
+// starts fresh (and finds the result in the response cache) instead of
+// joining a finished flight.
+func (g *flightGroup) finish(key string, fl *flight, body []byte, err error) {
+	g.mu.Lock()
+	delete(g.flights, key)
+	g.mu.Unlock()
+	fl.body, fl.err = body, err
+	close(fl.done)
+}

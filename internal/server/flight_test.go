@@ -1,0 +1,166 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"sync"
+	"testing"
+)
+
+func TestFlightGroupLeaderAndFollowers(t *testing.T) {
+	g := newFlightGroup()
+	fl, leader := g.join("k")
+	if !leader {
+		t.Fatal("first join must lead")
+	}
+	fl2, leader2 := g.join("k")
+	if leader2 || fl2 != fl {
+		t.Fatalf("second join: leader=%v sameFlight=%v", leader2, fl2 == fl)
+	}
+	// A different key is its own flight.
+	if _, leader3 := g.join("other"); !leader3 {
+		t.Fatal("distinct key must lead its own flight")
+	}
+	g.finish("k", fl, []byte("body"), nil)
+	<-fl.done
+	if string(fl.body) != "body" || fl.err != nil {
+		t.Fatalf("published %q/%v", fl.body, fl.err)
+	}
+	// The flight is unregistered on finish: a late arrival leads anew.
+	if _, leader4 := g.join("k"); !leader4 {
+		t.Fatal("join after finish must lead")
+	}
+}
+
+func TestFlightGroupPublishesError(t *testing.T) {
+	g := newFlightGroup()
+	fl, _ := g.join("k")
+	want := errors.New("compute exploded")
+	g.finish("k", fl, nil, want)
+	<-fl.done
+	if !errors.Is(fl.err, want) {
+		t.Fatalf("err %v, want %v", fl.err, want)
+	}
+}
+
+// TestSingleflightCollapsesConcurrentIdenticalFault: with caching disabled
+// and every pool job slowed by an armed delay fault (widening the in-flight
+// window), a burst of identical requests must collapse onto one computation
+// — at least one response carries X-Singleflight: shared and the shared
+// counter moves — and every body must be byte-identical. ("Fault" in the
+// name keeps this in CI's chaos-smoke subset, where the injector machinery
+// is exercised under -race.)
+func TestSingleflightCollapsesConcurrentIdenticalFault(t *testing.T) {
+	withFaults(t, "seed=5,pool.job=delay:1:80ms")
+	s, ts := newTestServer(t, Config{CacheSize: -1})
+	topo := testTopology(t, 12, 1)
+	req := reqBody(t, topo, map[string]any{"samples": 20, "seed": 3})
+
+	const burst = 8
+	var (
+		wg     sync.WaitGroup
+		mu     sync.Mutex
+		bodies [][]byte
+		shared int
+	)
+	for i := 0; i < burst; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp, body := post(t, ts, "/v1/estimate", req)
+			mu.Lock()
+			defer mu.Unlock()
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("status %d: %s", resp.StatusCode, body)
+				return
+			}
+			if resp.Header.Get("X-Singleflight") == "shared" {
+				shared++
+			}
+			bodies = append(bodies, body)
+		}()
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if len(bodies) != burst {
+		t.Fatalf("%d bodies, want %d", len(bodies), burst)
+	}
+	for i := 1; i < burst; i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Fatalf("response %d differs:\n%s\nvs\n%s", i, bodies[i], bodies[0])
+		}
+	}
+	if shared == 0 {
+		t.Fatal("no response was singleflight-shared despite an 80ms in-flight window")
+	}
+	if got := s.sfShared.Load(); got != int64(shared) {
+		t.Fatalf("rayschedd_singleflight_shared_total %d, header count %d", got, shared)
+	}
+}
+
+// TestSingleflightSharedByteIdenticalUnderHandlerFault: with transient
+// handler faults armed, shared responses that do succeed must still be
+// byte-identical to an unshared response for the same request — the
+// singleflight path must never surface a follower-specific body, and a
+// leader's injected failure must not poison later bursts.
+func TestSingleflightSharedByteIdenticalUnderHandlerFault(t *testing.T) {
+	s, ts := newTestServer(t, Config{CacheSize: -1})
+	topo := testTopology(t, 12, 2)
+	req := reqBody(t, topo, map[string]any{"samples": 20, "seed": 9})
+
+	// Unshared baseline, measured before any fault is armed.
+	resp, baseline := post(t, ts, "/v1/estimate", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("baseline: status %d: %s", resp.StatusCode, baseline)
+	}
+
+	withFaults(t, "seed=7,server.handler=error:0.3,pool.job=delay:1:40ms")
+	const bursts, width = 4, 6
+	var sharedOK int
+	for b := 0; b < bursts; b++ {
+		var wg sync.WaitGroup
+		results := make([][]byte, width)
+		headers := make([]string, width)
+		codes := make([]int, width)
+		for i := 0; i < width; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				resp, body := post(t, ts, "/v1/estimate", req)
+				codes[i], results[i], headers[i] = resp.StatusCode, body, resp.Header.Get("X-Singleflight")
+			}(i)
+		}
+		wg.Wait()
+		for i := 0; i < width; i++ {
+			switch codes[i] {
+			case http.StatusOK:
+				if !bytes.Equal(results[i], baseline) {
+					t.Fatalf("burst %d response %d differs from unshared baseline:\n%s\nvs\n%s",
+						b, i, results[i], baseline)
+				}
+				if headers[i] == "shared" {
+					sharedOK++
+				}
+			case http.StatusServiceUnavailable:
+				// The armed transient fault (injected at the handler or
+				// propagated through a shared flight); retryable by contract.
+				var eb errorBody
+				if err := json.Unmarshal(results[i], &eb); err != nil || eb.Error == "" {
+					t.Fatalf("burst %d response %d: malformed 503 body %s", b, i, results[i])
+				}
+			default:
+				t.Fatalf("burst %d response %d: unexpected status %d: %s", b, i, codes[i], results[i])
+			}
+		}
+	}
+	if sharedOK == 0 {
+		t.Skip("no successful shared response in this fault schedule; byte-identity vacuous")
+	}
+	if s.sfShared.Load() == 0 {
+		t.Fatal("shared header seen but counter never moved")
+	}
+}

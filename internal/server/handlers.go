@@ -80,6 +80,27 @@ func parseTopology(raw json.RawMessage, maxLinks int) (*network.Network, []byte,
 	return net, canon.Bytes(), nil
 }
 
+// resolveTopology produces the parsed network and canonical bytes for one
+// compute request, from either an inline netio document or a session ref
+// registered via POST /v1/topology. The canonical bytes are identical in
+// both cases (the session store keeps netio.Save output), so cache keys —
+// and therefore response bytes — do not depend on which form the client
+// chose.
+func (s *Server) resolveTopology(raw json.RawMessage, ref string) (*network.Network, []byte, error) {
+	if ref == "" {
+		return parseTopology(raw, s.cfg.MaxLinks)
+	}
+	if len(raw) != 0 {
+		return nil, nil, badRequest("provide either \"network\" or \"topology_ref\", not both")
+	}
+	net, canon, ok := s.sessions.Get(ref)
+	if !ok {
+		return nil, nil, &httpError{status: http.StatusNotFound,
+			msg: fmt.Sprintf("unknown topology_ref %q (never uploaded, or evicted from the session store — POST /v1/topology to (re)register)", ref)}
+	}
+	return net, canon, nil
+}
+
 // requestKey builds the cache key for one request: a hash over the endpoint
 // name, the defaults-applied parameter struct (marshaled, so field order is
 // fixed), and the canonical topology bytes. Per-request operational knobs
@@ -110,10 +131,11 @@ type scheduleParams struct {
 }
 
 type scheduleRequest struct {
-	Network   json.RawMessage `json:"network"`
-	Algorithm string          `json:"algorithm,omitempty"`
-	Beta      float64         `json:"beta,omitempty"`
-	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	Network     json.RawMessage `json:"network,omitempty"`
+	TopologyRef string          `json:"topology_ref,omitempty"`
+	Algorithm   string          `json:"algorithm,omitempty"`
+	Beta        float64         `json:"beta,omitempty"`
+	TimeoutMS   int64           `json:"timeout_ms,omitempty"`
 }
 
 // scheduleResponse reports a single-slot capacity solution and its fading
@@ -147,14 +169,15 @@ type latencyParams struct {
 }
 
 type latencyRequest struct {
-	Network   json.RawMessage `json:"network"`
-	Scheduler string          `json:"scheduler,omitempty"`
-	Model     string          `json:"model,omitempty"`
-	Beta      float64         `json:"beta,omitempty"`
-	Prob      float64         `json:"prob,omitempty"`
-	MaxSlots  int             `json:"max_slots,omitempty"`
-	Seed      uint64          `json:"seed,omitempty"`
-	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	Network     json.RawMessage `json:"network,omitempty"`
+	TopologyRef string          `json:"topology_ref,omitempty"`
+	Scheduler   string          `json:"scheduler,omitempty"`
+	Model       string          `json:"model,omitempty"`
+	Beta        float64         `json:"beta,omitempty"`
+	Prob        float64         `json:"prob,omitempty"`
+	MaxSlots    int             `json:"max_slots,omitempty"`
+	Seed        uint64          `json:"seed,omitempty"`
+	TimeoutMS   int64           `json:"timeout_ms,omitempty"`
 }
 
 // latencyResponse reports a full-coverage schedule (every link served).
@@ -184,12 +207,13 @@ type reduceParams struct {
 }
 
 type reduceRequest struct {
-	Network   json.RawMessage `json:"network"`
-	Beta      float64         `json:"beta,omitempty"`
-	Prob      float64         `json:"prob,omitempty"`
-	Samples   int             `json:"samples,omitempty"`
-	Seed      uint64          `json:"seed,omitempty"`
-	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	Network     json.RawMessage `json:"network,omitempty"`
+	TopologyRef string          `json:"topology_ref,omitempty"`
+	Beta        float64         `json:"beta,omitempty"`
+	Prob        float64         `json:"prob,omitempty"`
+	Samples     int             `json:"samples,omitempty"`
+	Seed        uint64          `json:"seed,omitempty"`
+	TimeoutMS   int64           `json:"timeout_ms,omitempty"`
 }
 
 // reduceStep is one level of the Algorithm-1 simulation with its estimated
@@ -232,12 +256,13 @@ type estimateParams struct {
 }
 
 type estimateRequest struct {
-	Network   json.RawMessage `json:"network"`
-	Beta      float64         `json:"beta,omitempty"`
-	Prob      float64         `json:"prob,omitempty"`
-	Samples   int             `json:"samples,omitempty"`
-	Seed      uint64          `json:"seed,omitempty"`
-	TimeoutMS int64           `json:"timeout_ms,omitempty"`
+	Network     json.RawMessage `json:"network,omitempty"`
+	TopologyRef string          `json:"topology_ref,omitempty"`
+	Beta        float64         `json:"beta,omitempty"`
+	Prob        float64         `json:"prob,omitempty"`
+	Samples     int             `json:"samples,omitempty"`
+	Seed        uint64          `json:"seed,omitempty"`
+	TimeoutMS   int64           `json:"timeout_ms,omitempty"`
 }
 
 // estimateResponse reports a Monte-Carlo estimate of the expected Rayleigh
@@ -253,6 +278,16 @@ type estimateResponse struct {
 	Stderr float64 `json:"stderr"`
 	// Exact is Σ_i Q_i(q,β), the closed-form expectation.
 	Exact float64 `json:"exact"`
+}
+
+// topologyResponse is the POST /v1/topology body: the content-derived
+// session handle compute requests pass as topology_ref.
+type topologyResponse struct {
+	TopologyRef string `json:"topology_ref"`
+	Links       int    `json:"links"`
+	// Created is false when the topology was already registered (the upload
+	// only refreshed its LRU recency).
+	Created bool `json:"created"`
 }
 
 // healthResponse is the /healthz body: liveness plus the worker identity a

@@ -3,15 +3,17 @@
 //
 // Endpoints:
 //
-//	POST /v1/schedule   single-slot capacity scheduling + fading transfer
-//	POST /v1/latency    full-coverage latency scheduling (repeated capacity, ALOHA)
-//	POST /v1/reduce     non-fading→Rayleigh reduction (Algorithm 1 / Theorem 2)
-//	POST /v1/estimate   Monte-Carlo Rayleigh success estimation (exact form alongside)
-//	POST /v1/shard      distributed Monte-Carlo: replications [lo,hi) as a shard document
-//	GET  /healthz       liveness + version + worker identity (instance, GOMAXPROCS, shard load)
-//	GET  /metrics       Prometheus text: requests, latency, queue wait, cache, queue
-//	GET  /debug/obs     (Config.Debug) counter snapshot + recent request spans
-//	GET  /debug/pprof/  (Config.Debug) net/http/pprof
+//	POST /v1/schedule        single-slot capacity scheduling + fading transfer
+//	POST /v1/latency         full-coverage latency scheduling (repeated capacity, ALOHA)
+//	POST /v1/reduce          non-fading→Rayleigh reduction (Algorithm 1 / Theorem 2)
+//	POST /v1/estimate        Monte-Carlo Rayleigh success estimation (exact form alongside)
+//	POST /v1/estimate/batch  NDJSON stream of estimate requests, one response line each
+//	POST /v1/topology        register a topology session; returns its sha256 topology_ref
+//	POST /v1/shard           distributed Monte-Carlo: replications [lo,hi) as a shard document
+//	GET  /healthz            liveness + version + worker identity (instance, GOMAXPROCS, shard load)
+//	GET  /metrics            Prometheus text: requests, latency, queue wait, cache, sessions, queue
+//	GET  /debug/obs          (Config.Debug) counter snapshot + recent request spans
+//	GET  /debug/pprof/       (Config.Debug) net/http/pprof
 //
 // Production shape, stdlib only:
 //
@@ -25,6 +27,14 @@
 //   - Caching. Responses are cached in an LRU keyed by a canonical hash of
 //     (endpoint, defaults-applied params, canonical topology); repeated
 //     identical queries replay byte-identical bodies from memory.
+//   - Topology sessions. POST /v1/topology pays the topology parse,
+//     validation, and canonicalization once; compute requests then send
+//     topology_ref instead of the full document. Refs are content hashes,
+//     so eviction from the bounded session LRU is always recoverable by
+//     re-uploading.
+//   - Singleflight. Concurrent identical computations collapse onto one
+//     pool job; followers receive the leader's exact bytes (exported as
+//     rayschedd_singleflight_shared_total).
 //   - Observability. Per-endpoint request/status counts (obs.Registry
 //     counters, shared with /debug/obs), log-spaced latency and queue-wait
 //     histograms (reusing stats.Histogram), cache hit/miss, queue depth and
@@ -43,6 +53,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"log/slog"
 	"net/http"
 	"net/http/pprof"
@@ -79,6 +90,12 @@ type Config struct {
 	// MaxSamples caps Monte-Carlo sample counts on /v1/reduce and
 	// /v1/estimate; <= 0 selects 1_000_000.
 	MaxSamples int
+	// MaxSessions bounds the topology session LRU (entries); 0 selects 128,
+	// negative disables the session API (uploads answer 503, refs miss).
+	MaxSessions int
+	// MaxBatchLines caps the number of NDJSON lines one /v1/estimate/batch
+	// request may carry; <= 0 selects 10_000.
+	MaxBatchLines int
 	// Log receives one structured access-log record per request (request id,
 	// endpoint, status, duration, queue wait). Nil discards — the zero-value
 	// Config stays silent, matching pre-observability behavior.
@@ -117,18 +134,34 @@ func (c Config) withDefaults() Config {
 	if c.MaxSamples <= 0 {
 		c.MaxSamples = 1_000_000
 	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 128
+	}
+	if c.MaxBatchLines <= 0 {
+		c.MaxBatchLines = 10_000
+	}
 	return c
 }
 
 // Server wires the pool, cache, metrics, and handlers into one http.Handler.
 type Server struct {
-	cfg     Config
-	pool    *Pool
-	cache   *Cache
-	metrics *Metrics
-	mux     *http.ServeMux
-	log     *slog.Logger
-	tracer  *obs.Tracer
+	cfg      Config
+	pool     *Pool
+	cache    *Cache
+	sessions *SessionStore
+	flights  *flightGroup
+	metrics  *Metrics
+	mux      *http.ServeMux
+	log      *slog.Logger
+	tracer   *obs.Tracer
+
+	// sfShared tallies singleflight followers: responses delivered from a
+	// computation another request led. batchLines / batchLineErrors tally
+	// the NDJSON lines /v1/estimate/batch processed and how many of them
+	// answered an error document.
+	sfShared        *obs.Counter
+	batchLines      *obs.Counter
+	batchLineErrors *obs.Counter
 
 	// instance identifies this daemon process to cluster coordinators
 	// (reported by /healthz); fresh per New, stable for the process.
@@ -155,6 +188,8 @@ func New(cfg Config) *Server {
 		cfg:      cfg,
 		pool:     NewPool(cfg.Workers, cfg.QueueSize),
 		cache:    NewCache(cfg.CacheSize),
+		sessions: NewSessionStore(cfg.MaxSessions),
+		flights:  newFlightGroup(),
 		metrics:  NewMetrics(),
 		mux:      http.NewServeMux(),
 		log:      log,
@@ -162,6 +197,13 @@ func New(cfg Config) *Server {
 		instance: obs.NewRunID(),
 	}
 	s.shardsCompleted = s.metrics.Counter("rayschedd_shards_completed_total")
+	s.sfShared = s.metrics.Counter("rayschedd_singleflight_shared_total")
+	s.batchLines = s.metrics.Counter("rayschedd_batch_lines_total")
+	s.batchLineErrors = s.metrics.Counter("rayschedd_batch_line_errors_total")
+	s.metrics.Gauge("rayschedd_sessions_entries", func() float64 { return float64(s.sessions.Len()) })
+	s.metrics.Gauge("rayschedd_session_hits_total", func() float64 { h, _, _ := s.sessions.Stats(); return float64(h) })
+	s.metrics.Gauge("rayschedd_session_misses_total", func() float64 { _, m, _ := s.sessions.Stats(); return float64(m) })
+	s.metrics.Gauge("rayschedd_session_evictions_total", func() float64 { _, _, e := s.sessions.Stats(); return float64(e) })
 	s.metrics.Gauge("rayschedd_shards_inflight", func() float64 { return float64(s.shardsInflight.Load()) })
 	s.metrics.Gauge("rayschedd_queue_depth", func() float64 { return float64(s.pool.QueueDepth()) })
 	s.metrics.Gauge("rayschedd_in_flight", func() float64 { return float64(s.pool.InFlight()) })
@@ -180,6 +222,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/latency", s.instrumented("/v1/latency", s.handleLatency))
 	s.mux.HandleFunc("POST /v1/reduce", s.instrumented("/v1/reduce", s.handleReduce))
 	s.mux.HandleFunc("POST /v1/estimate", s.instrumented("/v1/estimate", s.handleEstimate))
+	s.mux.HandleFunc("POST /v1/estimate/batch", s.instrumented("/v1/estimate/batch", s.handleEstimateBatch))
+	s.mux.HandleFunc("POST /v1/topology", s.instrumented("/v1/topology", s.handleTopology))
 	s.mux.HandleFunc("POST /v1/shard", s.instrumented("/v1/shard", s.handleShard))
 	// The operational endpoints share one "meta" label: they must not be
 	// invisible to the access log and request counters (a scraper hammering
@@ -360,32 +404,63 @@ func (s *Server) deadline(r *http.Request, timeoutMS int64) (context.Context, co
 	return context.WithTimeout(r.Context(), d)
 }
 
-// serve is the shared request pipeline behind the four compute endpoints:
-// cache lookup on the canonical key, pool admission (429 on overflow),
-// deadline-bounded compute, response marshaling, cache fill. compute runs
-// on a pool worker.
-func (s *Server) serve(w http.ResponseWriter, r *http.Request, endpoint string, params any,
-	topology []byte, timeoutMS int64, compute func(ctx context.Context) (any, error)) {
-	// Chaos hook: a transient error here answers 503 + Retry-After (the
-	// retryable-outage contract); an injected panic is recovered by the
-	// instrumented wrapper into a JSON 500. Free when no injector is set.
-	if err := faults.Inject(faults.SiteHandler); err != nil {
-		writeError(w, err)
-		return
-	}
-	key := requestKey(endpoint, params, topology)
+// Response sources: how respond produced a body. Hits replay the LRU,
+// misses ran a fresh pool-admitted compute, shared joined another request's
+// in-flight computation.
+const (
+	sourceHit    = "hit"
+	sourceMiss   = "miss"
+	sourceShared = "shared"
+)
+
+// computeOutcome describes how one response body was produced: the bytes,
+// the pool admission facts (for the queue-wait histogram), and the source.
+type computeOutcome struct {
+	body   []byte
+	wait   time.Duration
+	pooled bool
+	source string
+}
+
+// respond resolves one canonical request key into response bytes: LRU
+// lookup, then singleflight join (followers share the leader's bytes), then
+// a fresh pool-admitted, deadline-bounded compute whose marshaled result
+// fills the cache. It is the shared core of the single-request pipeline
+// (serve) and the NDJSON batch loop, so both paths produce byte-identical
+// bodies for identical keys by construction.
+//
+// The leader's computation runs detached from its own request's
+// cancellation (bounded by the same deadline): followers still want the
+// result if the leader's client disconnects, and the bytes land in the
+// cache either way.
+func (s *Server) respond(ctx context.Context, key string, compute func(ctx context.Context) (any, error)) (computeOutcome, error) {
 	if body, ok := s.cache.Get(key); ok {
-		w.Header().Set("X-Cache", "hit")
-		writeJSON(w, http.StatusOK, body)
-		return
+		return computeOutcome{body: body, source: sourceHit}, nil
 	}
-	ctx, cancel := s.deadline(r, timeoutMS)
-	defer cancel()
+	fl, leader := s.flights.join(key)
+	if !leader {
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return computeOutcome{source: sourceShared}, ctx.Err()
+		}
+		if fl.err != nil {
+			return computeOutcome{source: sourceShared}, fl.err
+		}
+		s.sfShared.Add(1)
+		return computeOutcome{body: fl.body, source: sourceShared}, nil
+	}
+	cctx := context.WithoutCancel(ctx)
+	if dl, ok := ctx.Deadline(); ok {
+		var cancel context.CancelFunc
+		cctx, cancel = context.WithDeadline(cctx, dl)
+		defer cancel()
+	}
 	var (
 		body       []byte
 		computeErr error
 	)
-	wait, err := s.pool.DoTimed(ctx, func(ctx context.Context) {
+	wait, err := s.pool.DoTimed(cctx, func(ctx context.Context) {
 		resp, cerr := compute(ctx)
 		if cerr != nil {
 			computeErr = cerr
@@ -398,9 +473,46 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, endpoint string, 
 		}
 		body = b
 	})
+	out := computeOutcome{
+		wait:   wait,
+		source: sourceMiss,
+		pooled: !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrPoolClosed),
+	}
+	if err == nil {
+		err = computeErr
+	}
+	if err != nil {
+		s.flights.finish(key, fl, nil, err)
+		return out, err
+	}
+	// Fill the cache before releasing the flight so a request landing in
+	// between finds the bytes in the LRU instead of recomputing.
+	s.cache.Put(key, body)
+	s.flights.finish(key, fl, body, nil)
+	out.body = body
+	return out, nil
+}
+
+// serve is the shared request pipeline behind the compute endpoints:
+// cache lookup on the canonical key, singleflight join, pool admission
+// (429 on overflow), deadline-bounded compute, response marshaling, cache
+// fill. compute runs on a pool worker.
+func (s *Server) serve(w http.ResponseWriter, r *http.Request, endpoint string, params any,
+	topology []byte, timeoutMS int64, compute func(ctx context.Context) (any, error)) {
+	// Chaos hook: a transient error here answers 503 + Retry-After (the
+	// retryable-outage contract); an injected panic is recovered by the
+	// instrumented wrapper into a JSON 500. Free when no injector is set.
+	if err := faults.Inject(faults.SiteHandler); err != nil {
+		writeError(w, err)
+		return
+	}
+	key := requestKey(endpoint, params, topology)
+	ctx, cancel := s.deadline(r, timeoutMS)
+	defer cancel()
+	out, err := s.respond(ctx, key, compute)
 	if sw, ok := w.(*statusWriter); ok {
-		sw.queueWait = wait
-		sw.pooled = !errors.Is(err, ErrQueueFull) && !errors.Is(err, ErrPoolClosed)
+		sw.queueWait = out.wait
+		sw.pooled = out.pooled
 	}
 	if err != nil {
 		if errors.Is(err, ErrQueueFull) {
@@ -410,13 +522,15 @@ func (s *Server) serve(w http.ResponseWriter, r *http.Request, endpoint string, 
 		writeError(w, err)
 		return
 	}
-	if computeErr != nil {
-		writeError(w, computeErr)
-		return
+	if out.source == sourceShared {
+		// Shared responses are misses from the cache's point of view; the
+		// extra header is what lets clients (and tests) see the collapse.
+		w.Header().Set("X-Singleflight", "shared")
+		w.Header().Set("X-Cache", sourceMiss)
+	} else {
+		w.Header().Set("X-Cache", out.source)
 	}
-	s.cache.Put(key, body)
-	w.Header().Set("X-Cache", "miss")
-	writeJSON(w, http.StatusOK, body)
+	writeJSON(w, http.StatusOK, out.body)
 }
 
 // ---- endpoint handlers ----------------------------------------------------
@@ -427,7 +541,7 @@ func (s *Server) handleSchedule(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	net, canon, err := parseTopology(req.Network, s.cfg.MaxLinks)
+	net, canon, err := s.resolveTopology(req.Network, req.TopologyRef)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -460,7 +574,7 @@ func (s *Server) handleLatency(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	net, canon, err := parseTopology(req.Network, s.cfg.MaxLinks)
+	net, canon, err := s.resolveTopology(req.Network, req.TopologyRef)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -519,7 +633,7 @@ func (s *Server) handleReduce(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	net, canon, err := parseTopology(req.Network, s.cfg.MaxLinks)
+	net, canon, err := s.resolveTopology(req.Network, req.TopologyRef)
 	if err != nil {
 		writeError(w, err)
 		return
@@ -560,11 +674,27 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, err)
 		return
 	}
-	net, canon, err := parseTopology(req.Network, s.cfg.MaxLinks)
+	net, canon, err := s.resolveTopology(req.Network, req.TopologyRef)
 	if err != nil {
 		writeError(w, err)
 		return
 	}
+	p, err := s.estimateParamsFrom(&req)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	s.serve(w, r, "/v1/estimate", p, canon, req.TimeoutMS, func(ctx context.Context) (any, error) {
+		return computeEstimate(ctx, p, net)
+	})
+}
+
+// estimateParamsFrom applies the /v1/estimate defaults and validation to one
+// decoded request. It is shared by the single-request handler and the NDJSON
+// batch loop so a batch line and a lone request with the same fields always
+// produce the same defaults-applied params — and therefore the same cache
+// key and response bytes.
+func (s *Server) estimateParamsFrom(req *estimateRequest) (estimateParams, error) {
 	p := estimateParams{Beta: req.Beta, Prob: req.Prob, Samples: req.Samples, Seed: req.Seed}
 	if p.Beta == 0 {
 		p.Beta = 2.5
@@ -579,20 +709,56 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		p.Seed = 1
 	}
 	if err := validateBeta(p.Beta); err != nil {
-		writeError(w, err)
-		return
+		return p, err
 	}
 	if err := validateProb(p.Prob); err != nil {
-		writeError(w, err)
-		return
+		return p, err
 	}
 	if err := validateSamples(p.Samples, s.cfg.MaxSamples); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// handleTopology registers a topology session: the request body is a netio
+// topology document (the same JSON that goes in a compute request's
+// "network" field), and the response carries its content-derived session
+// handle. Re-uploading an already-registered topology is cheap and
+// idempotent ("created": false) — clients recover from evictions by
+// re-posting.
+func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	raw, err := io.ReadAll(r.Body)
+	if err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			writeError(w, &httpError{status: http.StatusRequestEntityTooLarge,
+				msg: fmt.Sprintf("request body exceeds %d bytes", tooLarge.Limit)})
+			return
+		}
+		writeError(w, badRequest("read body: %v", err))
+		return
+	}
+	net, canon, err := parseTopology(raw, s.cfg.MaxLinks)
+	if err != nil {
 		writeError(w, err)
 		return
 	}
-	s.serve(w, r, "/v1/estimate", p, canon, req.TimeoutMS, func(ctx context.Context) (any, error) {
-		return computeEstimate(ctx, p, net)
+	ref, created, err := s.sessions.Put(canon, net)
+	if err != nil {
+		writeError(w, &httpError{status: http.StatusServiceUnavailable, msg: err.Error()})
+		return
+	}
+	body, err := json.Marshal(topologyResponse{
+		TopologyRef: ref,
+		Links:       net.N(),
+		Created:     created,
 	})
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
