@@ -397,6 +397,7 @@ func traceFileName(name string) string {
 func cmdTraceCheck(args []string) error {
 	fs := flag.NewFlagSet("tracecheck", flag.ExitOnError)
 	nested := fs.Bool("nested", false, "additionally require at least one nested span pair")
+	minProcs := fs.Int("min-procs", 0, "require at least this many distinct pids (a merged cluster trace has the coordinator plus every contributing worker)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -415,7 +416,12 @@ func cmdTraceCheck(args []string) error {
 		if *nested && !stats.Nested {
 			return fmt.Errorf("%s: valid but contains no nested spans", path)
 		}
-		fmt.Printf("%s: %d events on %d tracks (nested=%v)\n", path, stats.Events, stats.Tracks, stats.Nested)
+		if stats.Procs < *minProcs {
+			return fmt.Errorf("%s: valid but spans come from %d process(es), want ≥ %d — worker traces did not merge",
+				path, stats.Procs, *minProcs)
+		}
+		fmt.Printf("%s: %d events on %d tracks across %d processes (nested=%v)\n",
+			path, stats.Events, stats.Tracks, stats.Procs, stats.Nested)
 	}
 	return nil
 }

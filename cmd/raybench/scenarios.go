@@ -8,6 +8,7 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -22,6 +23,7 @@ import (
 	"rayfade/internal/faults"
 	"rayfade/internal/latency"
 	"rayfade/internal/network"
+	"rayfade/internal/obs"
 	"rayfade/internal/rng"
 	"rayfade/internal/server"
 	"rayfade/internal/sim"
@@ -181,6 +183,7 @@ func scenarios() []scenario {
 				return server.BenchEstimateRefRequest(ref, 100, 1)
 			})
 		}},
+		scenario{name: "server/cluster-trace-overhead", quick: true, setup: clusterTraceOverheadOp},
 		scenario{name: "server/singleflight", quick: true, units: singleflightFan, setup: singleflightOp},
 		scenario{name: "server/batch-throughput", quick: true, units: batchLines, setup: batchThroughputOp},
 		scenario{name: "server/goodput-under-faults", quick: false, setup: goodputUnderFaultsOp},
@@ -316,6 +319,87 @@ func batchThroughputOp() (func(), func(), error) {
 		resp.Body.Close()
 		if resp.StatusCode != http.StatusOK {
 			panic(fmt.Sprintf("raybench: batch scenario: status %d", resp.StatusCode))
+		}
+	}
+	return op, cleanup, nil
+}
+
+// clusterTraceOverheadOp measures the per-request cost of cluster tracing on
+// the shard path: every op posts a /v1/shard request carrying X-Trace-Context,
+// so the daemon routes its request span into a per-trace collector instead of
+// the server ring. Caching is off so each op recomputes — the delta against an
+// untraced run is pure trace-collection overhead. Setup proves the contract
+// the overhead is allowed to exist under: the response bytes with tracing on
+// are identical to the bytes with tracing off, and the collected spans really
+// are fetchable via GET /v1/trace/{id}.
+func clusterTraceOverheadOp() (func(), func(), error) {
+	srv := server.New(server.Config{CacheSize: -1})
+	ts := httptest.NewServer(srv)
+	cleanup := func() {
+		ts.Close()
+		srv.Close()
+	}
+	body, err := server.BenchShardRequest(7)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	httpc := ts.Client()
+	traceID := "be9c5cc0de0ff00d0123456789abcdef"
+	tc := obs.TraceContext{TraceID: traceID, ParentID: 0x1}
+	post := func(traced bool) ([]byte, error) {
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/shard", bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		req.Header.Set("Content-Type", "application/json")
+		if traced {
+			req.Header.Set(obs.HeaderTraceContext, tc.String())
+		}
+		resp, err := httpc.Do(req)
+		if err != nil {
+			return nil, err
+		}
+		out, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return nil, fmt.Errorf("status %d: %s", resp.StatusCode, out)
+		}
+		return out, nil
+	}
+	plain, err := post(false)
+	if err != nil {
+		cleanup()
+		return nil, nil, fmt.Errorf("cluster-trace scenario untraced warmup: %w", err)
+	}
+	traced, err := post(true)
+	if err != nil {
+		cleanup()
+		return nil, nil, fmt.Errorf("cluster-trace scenario traced warmup: %w", err)
+	}
+	if !bytes.Equal(plain, traced) {
+		cleanup()
+		return nil, nil, fmt.Errorf("cluster-trace scenario: traced shard response differs from untraced (%d vs %d bytes) — tracing must never touch the payload", len(traced), len(plain))
+	}
+	resp, err := httpc.Get(ts.URL + "/v1/trace/" + traceID)
+	if err != nil {
+		cleanup()
+		return nil, nil, err
+	}
+	var bundle obs.TraceBundle
+	err = json.NewDecoder(resp.Body).Decode(&bundle)
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK || len(bundle.Spans) == 0 {
+		cleanup()
+		return nil, nil, fmt.Errorf("cluster-trace scenario: trace fetch status=%d spans=%d err=%v — collection is not working, overhead would measure nothing", resp.StatusCode, len(bundle.Spans), err)
+	}
+	op := func() {
+		if _, err := post(true); err != nil {
+			panic(fmt.Sprintf("raybench: cluster-trace scenario: %v", err))
 		}
 	}
 	return op, cleanup, nil

@@ -41,6 +41,7 @@ func cmdCluster(ctx context.Context, args []string) error {
 	out := fs.String("out", "", "write CSV output atomically to this file instead of stdout (implies -format csv)")
 	mergedCk := fs.String("merged-checkpoint", "", "keep the merged checkpoint at this path (default: a temp file, removed afterwards)")
 	prog := fs.Bool("progress", false, "report cluster-wide progress to stderr")
+	status := fs.Bool("status", false, "print a one-shot aggregated telemetry snapshot of every worker (/healthz + /metrics) and exit")
 	of := registerObsFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,6 +49,9 @@ func cmdCluster(ctx context.Context, args []string) error {
 	workers := splitWorkers(*workersFlag)
 	if len(workers) == 0 {
 		return fmt.Errorf("cluster: -workers is required (comma-separated rayschedd URLs)")
+	}
+	if *status {
+		return runClusterStatus(ctx, workers)
 	}
 	ctx, obsDone, err := of.start(ctx)
 	if err != nil {
@@ -158,6 +162,23 @@ func runCluster(ctx context.Context, of *obsFlags, p clusterParams) error {
 	fmt.Fprintf(os.Stderr, "raysched: cluster: %d shards merged, %d reassigned, %d dead workers\n",
 		st.Shards, st.Reassigned, st.DeadWorkers)
 
+	// With tracing on, pull each surviving worker's span collection for this
+	// run so of's finish writes one merged cluster trace. The trace ID is
+	// the run ID — the same value the dispatch spans sent in X-Trace-Context.
+	if traceID := obs.RunID(ctx); of.trace != "" && traceID != "" {
+		for _, w := range live {
+			b, err := co.FetchTrace(ctx, w.URL, traceID)
+			if err != nil {
+				// A worker that died mid-run, or one that served no shards,
+				// simply contributes nothing — the merged trace covers the
+				// survivors.
+				fmt.Fprintf(os.Stderr, "raysched: cluster: no trace from %s: %v\n", w.URL, err)
+				continue
+			}
+			of.addBundles(b)
+		}
+	}
+
 	ckPath := p.mergedCk
 	if ckPath == "" {
 		dir, err := os.MkdirTemp("", "raysched-cluster-")
@@ -180,6 +201,24 @@ func runCluster(ctx context.Context, of *obsFlags, p clusterParams) error {
 		return err
 	}
 	return renderFigure1(res, p.format, p.out)
+}
+
+// runClusterStatus is `raysched cluster -status`: one scrape sweep over the
+// configured workers, rendered as an aggregated RED-style report on stdout.
+// Unreachable workers are reported, not fatal — a status check of a
+// degraded cluster must still answer; the command fails only when no worker
+// is reachable at all.
+func runClusterStatus(ctx context.Context, workers []string) error {
+	co, err := dist.New(dist.Config{Workers: workers})
+	if err != nil {
+		return err
+	}
+	snap := co.Snapshot(ctx)
+	snap.WriteText(os.Stdout)
+	if snap.Live == 0 {
+		return fmt.Errorf("cluster: none of the %d configured workers is reachable", len(workers))
+	}
+	return nil
 }
 
 // splitWorkers parses the -workers flag: comma-separated URLs, blanks

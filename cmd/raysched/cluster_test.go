@@ -9,6 +9,7 @@ import (
 	"strings"
 	"testing"
 
+	"rayfade/internal/obs"
 	"rayfade/internal/server"
 )
 
@@ -112,5 +113,76 @@ func TestSplitWorkers(t *testing.T) {
 	}
 	if splitWorkers("") != nil {
 		t.Fatal("empty spec should yield nil")
+	}
+}
+
+// TestCmdClusterMergedTrace: `raysched cluster -trace` writes one merged
+// Chrome trace containing the coordinator's spans plus span bundles fetched
+// back from the workers, with correct cross-process parent links.
+func TestCmdClusterMergedTrace(t *testing.T) {
+	dir := t.TempDir()
+	trace := filepath.Join(dir, "cluster.trace.json")
+	args := []string{"-networks", "4", "-links", "12", "-txseeds", "2",
+		"-fadeseeds", "2", "-points", "3", "-seed", "7",
+		"-workers", clusterTestWorkers(t, 2),
+		"-shard-size", "1",
+		"-trace", trace,
+		"-format", "csv", "-out", filepath.Join(dir, "out.csv")}
+	if err := cmdCluster(context.Background(), args); err != nil {
+		t.Fatalf("cluster: %v", err)
+	}
+	data, err := os.ReadFile(trace)
+	if err != nil {
+		t.Fatalf("merged trace not written: %v", err)
+	}
+	stats, err := obs.ValidateTrace(data)
+	if err != nil {
+		t.Fatalf("merged trace invalid: %v", err)
+	}
+	// Coordinator plus at least one worker; with shard-size 1 and four
+	// networks both workers almost always serve, but one racing ahead and
+	// taking every shard is legal.
+	if stats.Procs < 2 {
+		t.Fatalf("merged trace has %d processes, want >= 2 (coordinator + worker):\n%s", stats.Procs, data)
+	}
+	if !stats.Nested {
+		t.Fatal("merged trace has no nested spans")
+	}
+	out := string(data)
+	for _, want := range []string{`"dist.shard"`, `"http./v1/shard"`, `"remote_parent": true`, `"coordinator"`} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("merged trace missing %s:\n%s", want, out)
+		}
+	}
+}
+
+// TestCmdClusterStatus: `-status` scrapes the workers and prints the
+// aggregated snapshot; with no reachable worker it fails.
+func TestCmdClusterStatus(t *testing.T) {
+	urls := clusterTestWorkers(t, 2)
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := cmdCluster(context.Background(), []string{"-status", "-workers", urls})
+	w.Close()
+	os.Stdout = old
+	var buf bytes.Buffer
+	buf.ReadFrom(r)
+	if runErr != nil {
+		t.Fatalf("cluster -status: %v\n%s", runErr, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "cluster: 2/2 workers live") {
+		t.Fatalf("status header wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "totals:") || !strings.Contains(out, "instance=") {
+		t.Fatalf("status body incomplete:\n%s", out)
+	}
+
+	if err := cmdCluster(context.Background(), []string{"-status", "-workers", "http://127.0.0.1:1"}); err == nil {
+		t.Fatal("cluster -status with no reachable worker succeeded")
 	}
 }

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rayfade/internal/obs"
 	"rayfade/internal/rng"
 )
 
@@ -175,21 +176,41 @@ func (c *Client) PostNDJSON(ctx context.Context, path string, body []byte) ([]by
 	return c.post(ctx, path, "application/x-ndjson", body)
 }
 
-// post is the shared retry loop behind PostJSON and PostNDJSON.
+// post is the shared retry loop behind PostJSON and PostNDJSON. One request
+// ID is minted per logical request and sent as X-Request-ID on every
+// attempt, so retries correlate to one line of intent in worker access logs
+// instead of presenting as distinct requests; the attempt number rides on
+// the span as an attribute. When a tracer governs ctx, the outbound
+// requests also carry an X-Trace-Context header naming the run and the
+// enclosing span, so a collecting server parents its work under this call.
 func (c *Client) post(ctx context.Context, path, contentType string, body []byte) ([]byte, int, error) {
 	c.requests.Add(1)
+	reqID := obs.NewRequestID()
+	ctx, sp := obs.Start(ctx, "client.post")
+	sp.SetAttr("path", path)
+	sp.SetAttr("request_id", reqID)
+	defer sp.End()
+	var traceHeader string
+	if tc, ok := obs.TraceContextFrom(ctx); ok {
+		traceHeader = tc.String()
+	}
 	var lastErr error
 	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			c.retries.Add(1)
 		}
 		c.attempts.Add(1)
+		sp.SetAttr("attempts", attempt+1)
 		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
 		if err != nil {
 			c.failures.Add(1)
 			return nil, 0, err
 		}
 		req.Header.Set("Content-Type", contentType)
+		req.Header.Set("X-Request-ID", reqID)
+		if traceHeader != "" {
+			req.Header.Set(obs.HeaderTraceContext, traceHeader)
+		}
 		resp, err := c.http.Do(req)
 		var (
 			status     int
@@ -214,6 +235,7 @@ func (c *Client) post(ctx context.Context, path, contentType string, body []byte
 		case retryable(status):
 			lastErr = fmt.Errorf("client: %s answered %d", path, status)
 		default:
+			sp.SetAttr("status", status)
 			return respBody, status, nil
 		}
 		if attempt < c.cfg.MaxAttempts-1 {
@@ -224,6 +246,7 @@ func (c *Client) post(ctx context.Context, path, contentType string, body []byte
 		}
 	}
 	c.failures.Add(1)
+	sp.SetAttr("error", true)
 	return nil, 0, fmt.Errorf("client: retry budget (%d attempts) exhausted: %w", c.cfg.MaxAttempts, lastErr)
 }
 

@@ -10,6 +10,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"rayfade/internal/obs"
 )
 
 // fakeSleep records requested pauses without waiting.
@@ -217,5 +219,128 @@ func TestRetriesTransportErrors(t *testing.T) {
 	}
 	if got := c.Stats().Attempts; got != 3 {
 		t.Fatalf("attempts = %d, want 3", got)
+	}
+}
+
+// TestRequestIDStableAcrossRetries: all attempts of one logical request
+// carry the same X-Request-ID, so coordinator and worker logs correlate a
+// retried request as one story rather than three.
+func TestRequestIDStableAcrossRetries(t *testing.T) {
+	var calls atomic.Int64
+	var ids []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		ids = append(ids, r.Header.Get("X-Request-ID"))
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`ok`))
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(t, ts, Config{})
+	if _, status, err := c.PostJSON(context.Background(), "/v1/x", nil); err != nil || status != 200 {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+	if len(ids) != 3 {
+		t.Fatalf("server saw %d attempts, want 3", len(ids))
+	}
+	if ids[0] == "" {
+		t.Fatal("attempts carry no X-Request-ID")
+	}
+	if ids[1] != ids[0] || ids[2] != ids[0] {
+		t.Fatalf("request id changed across retries: %v", ids)
+	}
+
+	// A second logical request draws a fresh ID.
+	calls.Store(0)
+	prev := ids[0]
+	ids = nil
+	if _, _, err := c.PostJSON(context.Background(), "/v1/x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) == 0 || ids[0] == prev {
+		t.Fatalf("second request reused id %q", prev)
+	}
+}
+
+// TestTraceHeaderPropagation: with a tracer and run ID on ctx the post
+// carries X-Trace-Context (parented under the client.post span); without a
+// tracer the header is absent entirely, keeping untraced traffic
+// byte-identical on the wire.
+func TestTraceHeaderPropagation(t *testing.T) {
+	var headers []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		headers = append(headers, r.Header.Get(obs.HeaderTraceContext))
+		w.Write([]byte(`ok`))
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(t, ts, Config{})
+
+	if _, _, err := c.PostJSON(context.Background(), "/v1/x", nil); err != nil {
+		t.Fatal(err)
+	}
+	if headers[0] != "" {
+		t.Fatalf("untraced request sent %s: %q", obs.HeaderTraceContext, headers[0])
+	}
+
+	tr := obs.NewTracer(16)
+	ctx := obs.WithRunID(obs.WithTracer(context.Background(), tr), "feedc0de00000001")
+	if _, _, err := c.PostJSON(ctx, "/v1/x", nil); err != nil {
+		t.Fatal(err)
+	}
+	tc, err := obs.ParseTraceContext(headers[1])
+	if err != nil {
+		t.Fatalf("traced request header %q: %v", headers[1], err)
+	}
+	if tc.TraceID != "feedc0de00000001" {
+		t.Fatalf("trace id = %q", tc.TraceID)
+	}
+	// The remote parent is the client.post span wrapping this request, so
+	// worker spans nest under the client's view of the call.
+	spans := tr.Snapshot()
+	if len(spans) != 1 || spans[0].Name != "client.post" {
+		t.Fatalf("spans = %+v, want one client.post", spans)
+	}
+	if tc.ParentID != spans[0].ID {
+		t.Fatalf("header parent %d != client.post span %d", tc.ParentID, spans[0].ID)
+	}
+	attrs := map[string]any{}
+	for _, a := range spans[0].Attrs {
+		attrs[a.Key] = a.Value
+	}
+	if attrs["attempts"] != 1 {
+		t.Fatalf("attempts attr = %v", attrs["attempts"])
+	}
+	if attrs["request_id"] == nil || attrs["status"] != 200 {
+		t.Fatalf("span attrs incomplete: %v", attrs)
+	}
+}
+
+// TestAttemptsAttrCountsRetries: the client.post span's attempts attr
+// reflects the final attempt number after retries.
+func TestAttemptsAttrCountsRetries(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte(`ok`))
+	}))
+	defer ts.Close()
+	c, _ := newTestClient(t, ts, Config{})
+	tr := obs.NewTracer(16)
+	ctx := obs.WithTracer(context.Background(), tr)
+	if _, status, err := c.PostJSON(ctx, "/v1/x", nil); err != nil || status != 200 {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+	spans := tr.Snapshot()
+	if len(spans) != 1 {
+		t.Fatalf("spans = %+v", spans)
+	}
+	for _, a := range spans[0].Attrs {
+		if a.Key == "attempts" && a.Value != 3 {
+			t.Fatalf("attempts = %v, want 3", a.Value)
+		}
 	}
 }

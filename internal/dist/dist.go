@@ -126,10 +126,12 @@ type Stats struct {
 
 // workerHealth mirrors the rayschedd /healthz body.
 type workerHealth struct {
-	Status     string `json:"status"`
-	Version    string `json:"version"`
-	Instance   string `json:"instance"`
-	GoMaxProcs int    `json:"gomaxprocs"`
+	Status          string `json:"status"`
+	Version         string `json:"version"`
+	Instance        string `json:"instance"`
+	GoMaxProcs      int    `json:"gomaxprocs"`
+	ShardsInflight  int64  `json:"shards_inflight"`
+	ShardsCompleted int64  `json:"shards_completed"`
 }
 
 // Coordinator drives distributed runs against a fixed worker set.
@@ -442,7 +444,10 @@ func (w *workerLoop) run(ctx context.Context, job Job, queue chan *shardTask,
 // identity and the requested range.
 func (w *workerLoop) attempt(ctx context.Context, job Job, task *shardTask) (*sim.Shard, outcome, error) {
 	task.attempts++
-	_, sp := obs.StartDetached(ctx, "dist.shard")
+	// Keep the span's ctx: the client call below derives its lease from it,
+	// so the outbound request carries this span as the remote parent in its
+	// X-Trace-Context header and the worker's spans stitch under it.
+	sctx, sp := obs.StartDetached(ctx, "dist.shard")
 	sp.SetAttr("worker", w.url)
 	sp.SetAttr("lo", task.lo)
 	sp.SetAttr("hi", task.hi)
@@ -465,7 +470,7 @@ func (w *workerLoop) attempt(ctx context.Context, job Job, task *shardTask) (*si
 		result = "fatal"
 		return nil, outcomeFatal, fmt.Errorf("dist: build shard request [%d,%d): %w", task.lo, task.hi, berr)
 	}
-	lease, cancel := context.WithTimeout(ctx, w.coord.cfg.LeaseTimeout)
+	lease, cancel := context.WithTimeout(sctx, w.coord.cfg.LeaseTimeout)
 	defer cancel()
 	resp, status, perr := w.client.PostJSON(lease, "/v1/shard", body)
 	switch {

@@ -1,0 +1,159 @@
+package obs
+
+// Cluster trace merging: the coordinator collects each worker's per-trace
+// span ring (a TraceBundle fetched over GET /v1/trace/{id}) and stitches
+// them with its own tracer into one Chrome trace-event document. Each
+// process renders as its own pid — pid 1 is the coordinator, pid 2+k is
+// worker k — with a process_name metadata event naming the track group, so
+// Perfetto shows one timeline with per-worker tracks.
+//
+// Span IDs are tracer-local 64-bit sequences, so two processes freely reuse
+// the same numbers. The merger remaps every bundle's IDs into a disjoint
+// range ((k+1)·2³² + id) before emitting parent links; a worker span whose
+// Remote field carries the coordinator-side dispatch span ID keeps that link
+// un-remapped (it already names a coordinator span) and is marked
+// remote_parent so the cross-process edges are distinguishable in the args.
+//
+// Timestamps are re-anchored from each bundle's epoch onto the
+// coordinator's via the wall-clock difference of the two epochs. Across
+// machines this inherits clock skew — good enough to read queue waits and
+// shard durations, not a causality proof; spans that would land before the
+// coordinator's epoch clamp to zero.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"rayfade/internal/fsio"
+)
+
+// TraceBundle is one process's contribution to a merged distributed trace:
+// the spans it retained for one trace ID, plus the identity and epoch needed
+// to place them on a shared timeline.
+type TraceBundle struct {
+	TraceID       string       `json:"trace_id"`
+	Instance      string       `json:"instance"`
+	EpochUnixNano int64        `json:"epoch_unix_nano"`
+	Spans         []SpanRecord `json:"spans"`
+}
+
+// Bundle snapshots the tracer's retained spans as a TraceBundle under the
+// given identity. Nil-safe (empty bundle).
+func (t *Tracer) Bundle(traceID, instance string) TraceBundle {
+	return TraceBundle{
+		TraceID:       traceID,
+		Instance:      instance,
+		EpochUnixNano: t.EpochUnixNano(),
+		Spans:         t.Snapshot(),
+	}
+}
+
+// workerIDStride separates remapped per-bundle span ID ranges. Tracer IDs
+// are sequential from 1, so 2³² spans per process is unreachable in practice
+// (the ring caps retention far below it).
+const workerIDStride = uint64(1) << 32
+
+// WriteMergedTrace renders the local tracer's spans plus every worker bundle
+// as one Chrome trace-event document (see the package comment above for the
+// pid/ID/timestamp conventions). A nil local tracer contributes no spans but
+// still anchors the timeline at epoch 0 of the first bundle.
+func WriteMergedTrace(w io.Writer, local *Tracer, bundles []TraceBundle) error {
+	localEpoch := local.EpochUnixNano()
+	if localEpoch == 0 && len(bundles) > 0 {
+		localEpoch = bundles[0].EpochUnixNano
+	}
+	doc := traceDoc{DisplayTimeUnit: "ms"}
+	doc.TraceEvents = append(doc.TraceEvents, processNameEvent(1, "coordinator"))
+	for _, s := range local.Snapshot() {
+		doc.TraceEvents = append(doc.TraceEvents, spanEvent(s, 1, 0, 0))
+	}
+	for k, b := range bundles {
+		pid := 2 + k
+		name := b.Instance
+		if name == "" {
+			name = fmt.Sprintf("worker-%d", k)
+		}
+		doc.TraceEvents = append(doc.TraceEvents, processNameEvent(pid, name))
+		idBase := uint64(k+1) * workerIDStride
+		shift := float64(b.EpochUnixNano-localEpoch) / 1e3 // ns → µs
+		for _, s := range b.Spans {
+			doc.TraceEvents = append(doc.TraceEvents, spanEvent(s, pid, idBase, shift))
+		}
+	}
+	// Stable chronological order (metadata first) keeps the document
+	// deterministic for a given input and pleasant to diff.
+	sort.SliceStable(doc.TraceEvents, func(a, b int) bool {
+		ea, eb := doc.TraceEvents[a], doc.TraceEvents[b]
+		if (ea.Ph == "M") != (eb.Ph == "M") {
+			return ea.Ph == "M"
+		}
+		return ea.TS < eb.TS
+	})
+	enc := newTraceEncoder(w)
+	return enc.Encode(doc)
+}
+
+// WriteMergedTraceFile writes the merged trace to path atomically (0644).
+func WriteMergedTraceFile(path string, local *Tracer, bundles []TraceBundle) error {
+	err := fsio.WriteAtomic(path, 0o644, func(w io.Writer) error {
+		return WriteMergedTrace(w, local, bundles)
+	})
+	if err != nil {
+		return fmt.Errorf("obs: write merged trace: %w", err)
+	}
+	return nil
+}
+
+// spanEvent renders one span record as a complete ("X") event on the given
+// pid, remapping its IDs by idBase and shifting its timestamp by shiftMicros
+// (clamped at zero — Chrome trace timestamps must be non-negative).
+func spanEvent(s SpanRecord, pid int, idBase uint64, shiftMicros float64) traceEvent {
+	ts := float64(s.Start.Nanoseconds())/1e3 + shiftMicros
+	if ts < 0 {
+		ts = 0
+	}
+	ev := traceEvent{
+		Name: s.Name,
+		Cat:  "rayfade",
+		Ph:   "X",
+		TS:   ts,
+		Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+		PID:  pid,
+		TID:  s.Root + idBase,
+	}
+	if len(s.Attrs) > 0 {
+		ev.Args = make(map[string]any, len(s.Attrs)+2)
+		for _, a := range s.Attrs {
+			ev.Args[a.Key] = a.Value
+		}
+	}
+	arg := func(key string, v any) {
+		if ev.Args == nil {
+			ev.Args = make(map[string]any, 2)
+		}
+		ev.Args[key] = v
+	}
+	switch {
+	case s.Parent != 0:
+		arg("parent_span", s.Parent+idBase)
+	case s.Remote != 0:
+		// The parent lives in the originating process's tracer (pid 1 in a
+		// merged document); its ID is already in that namespace.
+		arg("parent_span", s.Remote)
+		arg("remote_parent", true)
+	}
+	return ev
+}
+
+// processNameEvent is the Chrome metadata event labeling one pid's track
+// group in the Perfetto UI.
+func processNameEvent(pid int, name string) traceEvent {
+	return traceEvent{
+		Name: "process_name",
+		Cat:  "__metadata",
+		Ph:   "M",
+		PID:  pid,
+		Args: map[string]any{"name": name},
+	}
+}

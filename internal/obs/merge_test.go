@@ -1,0 +1,132 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// buildWorkerBundle runs a little span tree on a fresh tracer and snapshots
+// it as instance's contribution to the trace, with the root span
+// remote-parented under coordinator span remoteParent.
+func buildWorkerBundle(t *testing.T, instance string, remoteParent uint64) TraceBundle {
+	t.Helper()
+	tr := NewTracer(32)
+	ctx := WithTracer(context.Background(), tr)
+	rctx, root := Start(ctx, "http./v1/shard")
+	root.SetRemoteParent(remoteParent)
+	_, inner := Start(rctx, "shard.compute")
+	inner.End()
+	root.End()
+	return tr.Bundle("4b8bc3c7d5db6fea", instance)
+}
+
+func TestWriteMergedTrace(t *testing.T) {
+	local := NewTracer(32)
+	lctx := WithTracer(context.Background(), local)
+	_, dispatch := Start(lctx, "dist.shard")
+	dispatchID := dispatch.ID()
+	dispatch.End()
+
+	b1 := buildWorkerBundle(t, "worker-a", dispatchID)
+	b2 := buildWorkerBundle(t, "worker-b", dispatchID)
+	// Worker-b's epoch predates the coordinator's: its shifted timestamps
+	// would go negative and must clamp to zero, not fail validation.
+	b2.EpochUnixNano = local.EpochUnixNano() - int64(time.Hour)
+
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, local, []TraceBundle{b1, b2}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("merged trace invalid: %v\n%s", err, buf.String())
+	}
+	if stats.Events != 8 {
+		t.Fatalf("events = %d, want 8 (1 coordinator + 2x2 worker spans + 3 process names)", stats.Events)
+	}
+	if stats.Procs != 3 {
+		t.Fatalf("procs = %d, want 3", stats.Procs)
+	}
+	if !stats.Nested {
+		t.Fatal("worker span nesting lost in merge")
+	}
+
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			PID  int            `json:"pid"`
+			TID  uint64         `json:"tid"`
+			TS   float64        `json:"ts"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]int{}
+	var remoteLinks, shifted int
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph == "M" {
+			if ev.Name != "process_name" {
+				t.Fatalf("unexpected metadata event %q", ev.Name)
+			}
+			names[ev.Args["name"].(string)] = ev.PID
+			continue
+		}
+		if ev.Name == "http./v1/shard" {
+			// The cross-process link points at the coordinator-namespace
+			// dispatch span, un-remapped, and is flagged remote.
+			if ev.Args["remote_parent"] != true {
+				t.Fatalf("worker root span lacks remote_parent: %+v", ev)
+			}
+			if got := ev.Args["parent_span"].(float64); uint64(got) != dispatchID {
+				t.Fatalf("remote parent = %v, want %d", got, dispatchID)
+			}
+			remoteLinks++
+			if ev.PID >= 2 && ev.TID < uint64(ev.PID-1)*workerIDStride {
+				t.Fatalf("worker tid %d not remapped into pid %d's range", ev.TID, ev.PID)
+			}
+			if ev.TS == 0 {
+				shifted++
+			}
+		}
+	}
+	if names["coordinator"] != 1 || names["worker-a"] != 2 || names["worker-b"] != 3 {
+		t.Fatalf("process names = %v", names)
+	}
+	if remoteLinks != 2 {
+		t.Fatalf("remote links = %d, want 2", remoteLinks)
+	}
+	if shifted == 0 {
+		t.Fatal("worker-b's pre-epoch timestamps did not clamp to zero")
+	}
+}
+
+func TestWriteMergedTraceNilLocal(t *testing.T) {
+	b := buildWorkerBundle(t, "solo", 0)
+	var buf bytes.Buffer
+	if err := WriteMergedTrace(&buf, nil, []TraceBundle{b}); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := ValidateTrace(buf.Bytes())
+	if err != nil {
+		t.Fatalf("merged trace with nil local tracer invalid: %v", err)
+	}
+	// 2 worker spans + 2 process names (the coordinator track is always
+	// labeled, even when it contributed no spans); spans all on 1 pid.
+	if stats.Events != 4 || stats.Procs != 1 {
+		t.Fatalf("events=%d procs=%d, want 4 events with spans on 1 proc", stats.Events, stats.Procs)
+	}
+}
+
+func TestBundleNilTracer(t *testing.T) {
+	var tr *Tracer
+	b := tr.Bundle("abc", "x")
+	if b.TraceID != "abc" || b.Instance != "x" || len(b.Spans) != 0 || b.EpochUnixNano != 0 {
+		t.Fatalf("nil tracer bundle = %+v", b)
+	}
+}

@@ -50,6 +50,7 @@ type SpanRecord struct {
 	ID     uint64        `json:"id"`
 	Parent uint64        `json:"parent,omitempty"` // 0 for root spans
 	Root   uint64        `json:"root"`             // top-level ancestor (== ID for roots)
+	Remote uint64        `json:"remote,omitempty"` // parent span ID in another process's tracer (cross-process link)
 	Name   string        `json:"name"`
 	Start  time.Duration `json:"start_ns"`
 	Dur    time.Duration `json:"dur_ns"`
@@ -81,6 +82,16 @@ func NewTracer(capacity int) *Tracer {
 		capacity = DefaultRingCapacity
 	}
 	return &Tracer{epoch: time.Now(), ring: make([]SpanRecord, capacity)}
+}
+
+// EpochUnixNano returns the tracer's epoch as Unix nanoseconds — the anchor
+// that lets a merger re-express another process's epoch-relative span
+// timestamps on this process's timeline. Nil-safe (0).
+func (t *Tracer) EpochUnixNano() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.epoch.UnixNano()
 }
 
 // Recorded returns the total number of spans ever completed on this tracer,
@@ -134,9 +145,34 @@ type Span struct {
 	root   uint64
 	start  time.Time
 
-	mu    sync.Mutex
-	attrs []Attr
-	ended bool
+	mu     sync.Mutex
+	attrs  []Attr
+	remote uint64
+	ended  bool
+}
+
+// ID returns the span's tracer-local identifier (0 for a nil span) — the
+// value a caller embeds in an outbound TraceContext so remote work can link
+// back to this span.
+func (s *Span) ID() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.id
+}
+
+// SetRemoteParent links this span under a span that lives in another
+// process's tracer (the coordinator-side dispatch span whose TraceContext
+// arrived with the request). The link is recorded verbatim in
+// SpanRecord.Remote; the trace merger resolves it when stitching worker
+// bundles under the coordinator's timeline.
+func (s *Span) SetRemoteParent(id uint64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	s.remote = id
+	s.mu.Unlock()
 }
 
 // SetAttr annotates the span. Later values win for a repeated key.
@@ -189,11 +225,13 @@ func (s *Span) End() {
 	}
 	s.ended = true
 	attrs := s.attrs
+	remote := s.remote
 	s.mu.Unlock()
 	s.tracer.record(SpanRecord{
 		ID:     s.id,
 		Parent: s.parent,
 		Root:   s.root,
+		Remote: remote,
 		Name:   s.name,
 		Start:  s.start.Sub(s.tracer.epoch),
 		Dur:    dur,

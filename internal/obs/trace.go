@@ -35,6 +35,14 @@ type traceDoc struct {
 	DisplayTimeUnit string       `json:"displayTimeUnit"`
 }
 
+// newTraceEncoder is the shared JSON encoder configuration for trace
+// documents (single-space indent, matching the original exporter).
+func newTraceEncoder(w io.Writer) *json.Encoder {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc
+}
+
 // WriteTrace renders every retained span as Chrome trace-event JSON.
 // Nil-safe: a nil tracer writes an empty (but valid) trace.
 func (t *Tracer) WriteTrace(w io.Writer) error {
@@ -42,32 +50,9 @@ func (t *Tracer) WriteTrace(w io.Writer) error {
 	sort.SliceStable(spans, func(a, b int) bool { return spans[a].Start < spans[b].Start })
 	doc := traceDoc{TraceEvents: make([]traceEvent, 0, len(spans)), DisplayTimeUnit: "ms"}
 	for _, s := range spans {
-		ev := traceEvent{
-			Name: s.Name,
-			Cat:  "rayfade",
-			Ph:   "X",
-			TS:   float64(s.Start.Nanoseconds()) / 1e3,
-			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
-			PID:  1,
-			TID:  s.Root,
-		}
-		if len(s.Attrs) > 0 {
-			ev.Args = make(map[string]any, len(s.Attrs)+1)
-			for _, a := range s.Attrs {
-				ev.Args[a.Key] = a.Value
-			}
-		}
-		if s.Parent != 0 {
-			if ev.Args == nil {
-				ev.Args = make(map[string]any, 1)
-			}
-			ev.Args["parent_span"] = s.Parent
-		}
-		doc.TraceEvents = append(doc.TraceEvents, ev)
+		doc.TraceEvents = append(doc.TraceEvents, spanEvent(s, 1, 0, 0))
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", " ")
-	return enc.Encode(doc)
+	return newTraceEncoder(w).Encode(doc)
 }
 
 // WriteTraceFile writes the trace to path atomically (0644): a crash
@@ -85,6 +70,10 @@ type TraceStats struct {
 	Events int
 	// Tracks is the number of distinct (pid, tid) pairs.
 	Tracks int
+	// Procs is the number of distinct pids among timed events — in a merged
+	// cluster trace, the coordinator plus every worker that contributed
+	// spans.
+	Procs int
 	// Nested reports whether at least one complete event lies strictly
 	// within another on the same track — the signature of hierarchical
 	// phase spans (as opposed to a flat event list).
@@ -113,6 +102,7 @@ func ValidateTrace(data []byte) (TraceStats, error) {
 	}
 	intervals := make([]interval, 0, len(doc.TraceEvents))
 	tracks := map[string]bool{}
+	procs := map[string]bool{}
 	for i, ev := range doc.TraceEvents {
 		var name, ph string
 		if err := requireString(ev, "name", &name); err != nil {
@@ -139,6 +129,7 @@ func ValidateTrace(data []byte) (TraceStats, error) {
 		}
 		track := string(ev["pid"]) + "/" + string(ev["tid"])
 		tracks[track] = true
+		procs[string(ev["pid"])] = true
 		if ph == "X" {
 			var dur float64
 			if err := requireNumber(ev, "dur", &dur); err != nil {
@@ -150,7 +141,7 @@ func ValidateTrace(data []byte) (TraceStats, error) {
 			intervals = append(intervals, interval{track: track, from: ts, to: ts + dur})
 		}
 	}
-	stats := TraceStats{Events: len(doc.TraceEvents), Tracks: len(tracks)}
+	stats := TraceStats{Events: len(doc.TraceEvents), Tracks: len(tracks), Procs: len(procs)}
 	// Nesting: some complete event strictly contained in a longer one on
 	// the same track. Quadratic, but traces are ring-bounded.
 	for a := range intervals {

@@ -1,0 +1,98 @@
+package obs
+
+// Cross-process trace propagation. The coordinator's outbound HTTP requests
+// carry an X-Trace-Context header in the W3C traceparent shape:
+//
+//	00-<trace-id>-<parent-span-id>-01
+//	^^ version    ^^ 16 hex digits ^^ flags (sampled)
+//
+// The trace ID is the run ID of the originating invocation (obs.NewRunID,
+// 16 hex digits), and the parent span ID is the tracer-local ID of the span
+// open at the call site — for dist, the per-attempt dispatch span. A worker
+// that honors the header collects the request's spans into a per-trace ring
+// keyed by the trace ID and stamps the parent ID as each request span's
+// remote parent, so the coordinator-side merger can stitch worker spans
+// under the dispatch spans that caused them.
+//
+// The format deliberately matches traceparent so the header is legible to
+// anyone who has seen W3C trace context, but the IDs are this repo's own
+// (64-bit tracer-local span IDs, run-ID trace IDs) — no interop is claimed.
+
+import (
+	"context"
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// HeaderTraceContext is the HTTP header carrying a TraceContext.
+const HeaderTraceContext = "X-Trace-Context"
+
+// TraceContext identifies where remote work should attach in a distributed
+// trace: the trace (run) it belongs to and the span to parent under.
+type TraceContext struct {
+	// TraceID names the distributed trace: lowercase hex, 1–32 digits
+	// (obs run IDs are 16).
+	TraceID string
+	// ParentID is the tracer-local ID of the span the remote work should
+	// parent under; 0 means "no specific parent" (attach at the root).
+	ParentID uint64
+}
+
+// String renders the traceparent-style header value.
+func (tc TraceContext) String() string {
+	return fmt.Sprintf("00-%s-%016x-01", tc.TraceID, tc.ParentID)
+}
+
+// ParseTraceContext parses a header value produced by TraceContext.String
+// (or any version-00 traceparent-shaped value with a hex trace ID of at most
+// 32 digits).
+func ParseTraceContext(s string) (TraceContext, error) {
+	parts := strings.Split(s, "-")
+	if len(parts) != 4 {
+		return TraceContext{}, fmt.Errorf("obs: trace context %q: want 4 dash-separated fields, got %d", s, len(parts))
+	}
+	if parts[0] != "00" {
+		return TraceContext{}, fmt.Errorf("obs: trace context version %q unsupported", parts[0])
+	}
+	if !isLowerHex(parts[1]) || len(parts[1]) == 0 || len(parts[1]) > 32 {
+		return TraceContext{}, fmt.Errorf("obs: trace id %q is not 1-32 lowercase hex digits", parts[1])
+	}
+	if len(parts[2]) != 16 || !isLowerHex(parts[2]) {
+		return TraceContext{}, fmt.Errorf("obs: parent span id %q is not 16 lowercase hex digits", parts[2])
+	}
+	parent, err := strconv.ParseUint(parts[2], 16, 64)
+	if err != nil {
+		return TraceContext{}, fmt.Errorf("obs: parent span id %q: %w", parts[2], err)
+	}
+	if len(parts[3]) != 2 || !isLowerHex(parts[3]) {
+		return TraceContext{}, fmt.Errorf("obs: trace flags %q are not 2 hex digits", parts[3])
+	}
+	return TraceContext{TraceID: parts[1], ParentID: parent}, nil
+}
+
+// TraceContextFrom derives the outbound trace context of ctx: the run ID as
+// trace ID and the currently open span as the remote parent. ok is false
+// when no tracer governs ctx (tracing is off — callers should then send no
+// header at all, keeping untraced runs byte-identical on the wire) or when
+// ctx carries no usable run ID.
+func TraceContextFrom(ctx context.Context) (TraceContext, bool) {
+	if TracerFrom(ctx) == nil {
+		return TraceContext{}, false
+	}
+	id := RunID(ctx)
+	if id == "" || len(id) > 32 || !isLowerHex(id) {
+		return TraceContext{}, false
+	}
+	return TraceContext{TraceID: id, ParentID: SpanFrom(ctx).ID()}, true
+}
+
+func isLowerHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
+}

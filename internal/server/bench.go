@@ -14,6 +14,7 @@ import (
 	"rayfade/internal/netio"
 	"rayfade/internal/network"
 	"rayfade/internal/rng"
+	"rayfade/internal/sim"
 )
 
 // BenchTopology returns the canonical netio serialization of a
@@ -77,6 +78,29 @@ func BenchBatchBody(ref string, samples, lines int) ([]byte, error) {
 		buf.WriteByte('\n')
 	}
 	return buf.Bytes(), nil
+}
+
+// BenchShardRequest builds a small deterministic /v1/shard request body:
+// one replication of a tiny Figure-1 instance. The same seed always yields
+// byte-identical response bytes, which is what the cluster-trace-overhead
+// scenario leans on to prove tracing never touches the payload.
+func BenchShardRequest(seed uint64) ([]byte, error) {
+	body, err := json.Marshal(ShardRequest{
+		Experiment: sim.ExperimentFigure1,
+		Lo:         0, Hi: 1,
+		Figure1: &Figure1ShardConfig{
+			Networks:      4,
+			Links:         30,
+			TransmitSeeds: 2,
+			FadingSeeds:   2,
+			Points:        3,
+			Seed:          seed,
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("server: bench shard request: %w", err)
+	}
+	return body, nil
 }
 
 // BenchScheduleRequest wraps a BenchTopology payload into a complete

@@ -54,6 +54,13 @@ type Metrics struct {
 	// gauges are sampled lazily at render time so Metrics has no coupling
 	// to the pool and cache beyond these closures.
 	gauges map[string]func() float64
+
+	// build identity, rendered as the rayschedd_build_info gauge when set
+	// (SetBuildInfo). Mirrors the /healthz identity fields so scrape-side
+	// joins and the health endpoint can never disagree.
+	buildVersion    string
+	buildInstance   string
+	buildGoMaxProcs int
 }
 
 // NewMetrics returns an empty registry backed by a private obs.Registry.
@@ -78,6 +85,17 @@ func NewMetricsWithRegistry(reg *obs.Registry) *Metrics {
 
 // Registry exposes the backing obs.Registry.
 func (m *Metrics) Registry() *obs.Registry { return m.reg }
+
+// SetBuildInfo records the daemon identity rendered as the
+// rayschedd_build_info gauge (constant value 1; the labels carry the
+// information, following the Prometheus build_info convention).
+func (m *Metrics) SetBuildInfo(version, instance string, gomaxprocs int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.buildVersion = version
+	m.buildInstance = instance
+	m.buildGoMaxProcs = gomaxprocs
+}
 
 // Gauge registers a named gauge sampled every time the registry renders.
 func (m *Metrics) Gauge(name string, sample func() float64) {
@@ -126,6 +144,56 @@ func clampLog(seconds float64) float64 {
 		lg = latLogHi
 	}
 	return lg
+}
+
+// quantileLevels are the latency quantiles exported per endpoint, chosen to
+// match the RED-dashboard convention (median, tail, extreme tail).
+var quantileLevels = []struct {
+	label string
+	q     float64
+}{
+	{"0.5", 0.5},
+	{"0.95", 0.95},
+	{"0.99", 0.99},
+}
+
+// histQuantile inverts a log-spaced histogram at quantile q ∈ (0,1],
+// returning seconds. The rank is located in the cumulative bucket counts
+// and interpolated linearly within its bucket in the log10 domain (the
+// domain the buckets are equal-width in), then mapped back through 10^x —
+// the standard histogram_quantile estimate, adapted to log spacing.
+// Observations folded into Under/Over clamp to the domain edges. 0 when the
+// histogram is empty.
+func histQuantile(h *stats.Histogram, q float64) float64 {
+	total := uint64(h.Under) + uint64(h.Over)
+	for _, c := range h.Counts {
+		total += uint64(c)
+	}
+	if total == 0 {
+		return 0
+	}
+	// 1-based rank of the ceil(q·N)-th smallest observation.
+	rank := uint64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank <= uint64(h.Under) {
+		return math.Pow(10, h.Lo)
+	}
+	cum := uint64(h.Under)
+	width := (h.Hi - h.Lo) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		if c == 0 {
+			continue
+		}
+		if rank <= cum+uint64(c) {
+			lo := h.Lo + float64(i)*width
+			frac := float64(rank-cum) / float64(c)
+			return math.Pow(10, lo+frac*width)
+		}
+		cum += uint64(c)
+	}
+	return math.Pow(10, h.Hi)
 }
 
 // Observe records one completed request: its endpoint, HTTP status, and
@@ -237,6 +305,40 @@ func (m *Metrics) WriteTo(w io.Writer) (int64, error) {
 			return n, err
 		}
 		if err := p("rayschedd_request_duration_seconds_count{endpoint=%q} %d\n", ep, es.count); err != nil {
+			return n, err
+		}
+	}
+
+	// Derived latency quantiles, one gauge series per endpoint that has
+	// recorded at least one positive-duration observation — dashboards read
+	// these directly instead of re-deriving quantiles from the cumulative
+	// buckets above. Gauges, not summaries: they are recomputed from the
+	// full histogram at every scrape.
+	qHeader := false
+	for _, ep := range eps {
+		es := m.endpoints[ep]
+		if histQuantile(es.latency, 0.5) == 0 {
+			continue
+		}
+		if !qHeader {
+			if err := p("# HELP rayschedd_request_duration_quantile Request latency quantiles in seconds, derived from the log-spaced histogram at scrape time.\n# TYPE rayschedd_request_duration_quantile gauge\n"); err != nil {
+				return n, err
+			}
+			qHeader = true
+		}
+		for _, lvl := range quantileLevels {
+			if err := p("rayschedd_request_duration_quantile{endpoint=%q,quantile=%q} %g\n", ep, lvl.label, histQuantile(es.latency, lvl.q)); err != nil {
+				return n, err
+			}
+		}
+	}
+
+	// Build identity: constant-1 gauge whose labels mirror /healthz, the
+	// join key for cluster-wide scrapes. Rendered only once SetBuildInfo has
+	// run, so bare Metrics (and the seed golden outputs) are unchanged.
+	if m.buildInstance != "" || m.buildVersion != "" {
+		if err := p("# HELP rayschedd_build_info Daemon identity; constant 1, the labels carry the information.\n# TYPE rayschedd_build_info gauge\nrayschedd_build_info{version=%q,instance=%q,gomaxprocs=\"%d\"} 1\n",
+			m.buildVersion, m.buildInstance, m.buildGoMaxProcs); err != nil {
 			return n, err
 		}
 	}

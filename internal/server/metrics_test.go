@@ -1,6 +1,7 @@
 package server
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -49,6 +50,76 @@ func TestMetricsHistogramCumulative(t *testing.T) {
 	}
 	if !strings.Contains(out, `rayschedd_request_duration_seconds_count{endpoint="/x"} 2`) {
 		t.Fatalf("count series wrong:\n%s", out)
+	}
+}
+
+// TestQuantileSeries: the p50/p95/p99 gauges derived from the latency
+// histograms. Values are bucket-resolution (the log-spaced buckets span a
+// quarter decade), so the assertions use generous factor bounds rather than
+// exact equality.
+func TestQuantileSeries(t *testing.T) {
+	m := NewMetrics()
+	var sb strings.Builder
+	m.WriteTo(&sb)
+	if strings.Contains(sb.String(), "rayschedd_request_duration_quantile") {
+		t.Fatalf("quantile series rendered with no observations:\n%s", sb.String())
+	}
+
+	// 100 requests at ~10ms and 10 stragglers at ~1s: the median must sit in
+	// the 10ms region and the p99 in the 1s region.
+	for i := 0; i < 100; i++ {
+		m.Observe("/v1/estimate", 200, 0.01)
+	}
+	for i := 0; i < 10; i++ {
+		m.Observe("/v1/estimate", 200, 1.0)
+	}
+	sb.Reset()
+	m.WriteTo(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE rayschedd_request_duration_quantile gauge") {
+		t.Fatalf("quantile type header missing:\n%s", out)
+	}
+	q := map[string]float64{}
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, `rayschedd_request_duration_quantile{endpoint="/v1/estimate"`) {
+			continue
+		}
+		var quant string
+		var v float64
+		if _, err := fmt.Sscanf(line, `rayschedd_request_duration_quantile{endpoint="/v1/estimate",quantile=%q} %g`, &quant, &v); err != nil {
+			t.Fatalf("unparsable quantile line %q: %v", line, err)
+		}
+		q[quant] = v
+	}
+	if len(q) != 3 {
+		t.Fatalf("got quantiles %v, want 0.5/0.95/0.99", q)
+	}
+	if q["0.5"] < 0.003 || q["0.5"] > 0.03 {
+		t.Fatalf("p50 = %g, want ~0.01", q["0.5"])
+	}
+	if q["0.99"] < 0.3 || q["0.99"] > 3 {
+		t.Fatalf("p99 = %g, want ~1.0", q["0.99"])
+	}
+	if !(q["0.5"] <= q["0.95"] && q["0.95"] <= q["0.99"]) {
+		t.Fatalf("quantiles not monotone: %v", q)
+	}
+}
+
+// TestBuildInfoRendersOnlyWhenSet: bare Metrics (no SetBuildInfo) must not
+// emit the build_info series, so outputs recorded before the gauge existed
+// stay byte-identical.
+func TestBuildInfoRendersOnlyWhenSet(t *testing.T) {
+	m := NewMetrics()
+	var sb strings.Builder
+	m.WriteTo(&sb)
+	if strings.Contains(sb.String(), "rayschedd_build_info") {
+		t.Fatalf("build_info rendered without SetBuildInfo:\n%s", sb.String())
+	}
+	m.SetBuildInfo("1.2.3", "abcd", 8)
+	sb.Reset()
+	m.WriteTo(&sb)
+	if !strings.Contains(sb.String(), `rayschedd_build_info{version="1.2.3",instance="abcd",gomaxprocs="8"} 1`) {
+		t.Fatalf("build_info missing after SetBuildInfo:\n%s", sb.String())
 	}
 }
 

@@ -96,6 +96,11 @@ type Config struct {
 	// MaxBatchLines caps the number of NDJSON lines one /v1/estimate/batch
 	// request may carry; <= 0 selects 10_000.
 	MaxBatchLines int
+	// MaxTraces bounds how many distinct trace IDs the daemon retains span
+	// collections for (requests arriving with X-Trace-Context; served back
+	// over GET /v1/trace/{id}). LRU eviction; 0 selects 64, negative
+	// disables collection and the fetch endpoint answers 503.
+	MaxTraces int
 	// Log receives one structured access-log record per request (request id,
 	// endpoint, status, duration, queue wait). Nil discards — the zero-value
 	// Config stays silent, matching pre-observability behavior.
@@ -140,6 +145,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxBatchLines <= 0 {
 		c.MaxBatchLines = 10_000
 	}
+	if c.MaxTraces == 0 {
+		c.MaxTraces = 64
+	}
 	return c
 }
 
@@ -154,6 +162,7 @@ type Server struct {
 	mux      *http.ServeMux
 	log      *slog.Logger
 	tracer   *obs.Tracer
+	traces   *traceStore
 
 	// sfShared tallies singleflight followers: responses delivered from a
 	// computation another request led. batchLines / batchLineErrors tally
@@ -194,8 +203,10 @@ func New(cfg Config) *Server {
 		mux:      http.NewServeMux(),
 		log:      log,
 		tracer:   tracer,
+		traces:   newTraceStore(cfg.MaxTraces),
 		instance: obs.NewRunID(),
 	}
+	s.metrics.SetBuildInfo(version.Version, s.instance, runtime.GOMAXPROCS(0))
 	s.shardsCompleted = s.metrics.Counter("rayschedd_shards_completed_total")
 	s.sfShared = s.metrics.Counter("rayschedd_singleflight_shared_total")
 	s.batchLines = s.metrics.Counter("rayschedd_batch_lines_total")
@@ -205,6 +216,7 @@ func New(cfg Config) *Server {
 	s.metrics.Gauge("rayschedd_session_misses_total", func() float64 { _, m, _ := s.sessions.Stats(); return float64(m) })
 	s.metrics.Gauge("rayschedd_session_evictions_total", func() float64 { _, _, e := s.sessions.Stats(); return float64(e) })
 	s.metrics.Gauge("rayschedd_shards_inflight", func() float64 { return float64(s.shardsInflight.Load()) })
+	s.metrics.Gauge("rayschedd_traces_retained", func() float64 { return float64(s.traces.len()) })
 	s.metrics.Gauge("rayschedd_queue_depth", func() float64 { return float64(s.pool.QueueDepth()) })
 	s.metrics.Gauge("rayschedd_in_flight", func() float64 { return float64(s.pool.InFlight()) })
 	s.metrics.Gauge("rayschedd_cache_entries", func() float64 { return float64(s.cache.Len()) })
@@ -225,6 +237,7 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/estimate/batch", s.instrumented("/v1/estimate/batch", s.handleEstimateBatch))
 	s.mux.HandleFunc("POST /v1/topology", s.instrumented("/v1/topology", s.handleTopology))
 	s.mux.HandleFunc("POST /v1/shard", s.instrumented("/v1/shard", s.handleShard))
+	s.mux.HandleFunc("GET /v1/trace/{id}", s.instrumented("meta", s.handleTraceFetch))
 	// The operational endpoints share one "meta" label: they must not be
 	// invisible to the access log and request counters (a scraper hammering
 	// /metrics is load too), but folding them into per-path labels would let
@@ -272,24 +285,52 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 }
 
 // instrumented wraps a handler with the per-request observability chain:
-// it mints a request id (echoed as X-Request-ID and threaded through the
-// request context for the compute layers' log records), opens a detached
-// span when a tracer is installed, and on completion records the request
-// counters, the latency and queue-wait histograms, and one access-log line.
+// it adopts the client's X-Request-ID when one arrives well-formed (so a
+// retried request correlates to one ID in the access log) or mints one,
+// echoes it, threads it through the request context for the compute layers'
+// log records, opens a detached span when a tracer is installed, and on
+// completion records the request counters, the latency and queue-wait
+// histograms, and one access-log line.
+//
+// A request arriving with a valid X-Trace-Context header is additionally
+// collected: its spans (the request span and every compute span started
+// under it) record into the per-trace collector keyed by the header's trace
+// ID instead of the server's own tracer, and the request span remembers the
+// header's parent span as its remote parent. GET /v1/trace/{id} serializes
+// the collection for the coordinator's merger.
 func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
-		reqID := obs.NewRequestID()
+		reqID := r.Header.Get("X-Request-ID")
+		if !validRequestID(reqID) {
+			reqID = obs.NewRequestID()
+		}
 		w.Header().Set("X-Request-ID", reqID)
 		ctx := obs.WithRunID(r.Context(), reqID)
+		tracer := s.tracer
+		var traceID string
+		var remoteParent uint64
+		if hv := r.Header.Get(obs.HeaderTraceContext); hv != "" && s.traces != nil {
+			if tc, err := obs.ParseTraceContext(hv); err == nil {
+				if per := s.traces.tracer(tc.TraceID); per != nil {
+					tracer = per
+					traceID = tc.TraceID
+					remoteParent = tc.ParentID
+				}
+			}
+		}
 		var sp *obs.Span
-		if s.tracer != nil {
-			ctx = obs.WithTracer(ctx, s.tracer)
+		if tracer != nil {
+			ctx = obs.WithTracer(ctx, tracer)
 			// Detached: concurrent requests are siblings and must not share
 			// a Chrome track; the scheduler spans they start nest under this
 			// one via the span carried in ctx.
 			ctx, sp = obs.StartDetached(ctx, "http."+endpoint)
 			sp.SetAttr("request_id", reqID)
 			sp.SetAttr("method", r.Method)
+			if traceID != "" {
+				sp.SetAttr("trace_id", traceID)
+				sp.SetRemoteParent(remoteParent)
+			}
 		}
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		start := time.Now()
@@ -310,6 +351,11 @@ func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerF
 			elapsed := time.Since(start)
 			if sp != nil {
 				sp.SetAttr("status", sw.status)
+				if sw.pooled {
+					// Queue-wait annotation: how long this request sat waiting
+					// for a pool worker, visible on the span in merged traces.
+					sp.SetAttr("queue_wait_us", sw.queueWait.Microseconds())
+				}
 				sp.End()
 			}
 			s.metrics.Observe(endpoint, sw.status, elapsed.Seconds())

@@ -1,0 +1,153 @@
+package server
+
+import (
+	"container/list"
+	"encoding/json"
+	"net/http"
+	"sync"
+
+	"rayfade/internal/obs"
+)
+
+// traceRingSpans bounds one trace's span retention on a worker. A Figure-1
+// shard records a handful of request/replication/phase spans per
+// replication, so 16Ki spans comfortably covers realistic shards while
+// capping the memory one trace can pin.
+const traceRingSpans = 1 << 14
+
+// traceStore keeps per-trace span collectors for requests that arrived with
+// an X-Trace-Context header: each distinct trace ID gets its own
+// obs.Tracer (own ring, own epoch), so one cluster run's spans are not
+// interleaved with another's and a fetch serializes exactly the requested
+// trace. The store is a bounded LRU over trace IDs — an abandoned trace
+// (coordinator died before fetching) ages out instead of pinning memory.
+//
+// Spans collected here deliberately do not land in the server's main tracer:
+// the request context carries the per-trace tracer instead, so /debug/obs
+// shows locally-traced traffic while cluster traces stay per-run. A nil
+// *traceStore disables collection (requests with trace headers are served
+// normally, nothing is retained).
+type traceStore struct {
+	mu    sync.Mutex
+	cap   int
+	order *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type traceEntry struct {
+	id     string
+	tracer *obs.Tracer
+}
+
+// newTraceStore returns a store retaining at most capacity traces; a
+// negative capacity disables collection (nil store).
+func newTraceStore(capacity int) *traceStore {
+	if capacity < 0 {
+		return nil
+	}
+	return &traceStore{
+		cap:   capacity,
+		order: list.New(),
+		items: make(map[string]*list.Element),
+	}
+}
+
+// tracer returns (creating on first use) the collector for trace id,
+// updating recency and evicting the least recently used trace when over
+// capacity. Nil-safe (nil).
+func (s *traceStore) tracer(id string) *obs.Tracer {
+	if s == nil || s.cap == 0 {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[id]; ok {
+		s.order.MoveToFront(el)
+		return el.Value.(*traceEntry).tracer
+	}
+	tr := obs.NewTracer(traceRingSpans)
+	s.items[id] = s.order.PushFront(&traceEntry{id: id, tracer: tr})
+	for s.order.Len() > s.cap {
+		oldest := s.order.Back()
+		s.order.Remove(oldest)
+		delete(s.items, oldest.Value.(*traceEntry).id)
+	}
+	return tr
+}
+
+// bundle snapshots the collector for trace id as a TraceBundle, or reports
+// that the trace is unknown (never seen, or evicted). Nil-safe (not found).
+func (s *traceStore) bundle(id, instance string) (obs.TraceBundle, bool) {
+	if s == nil {
+		return obs.TraceBundle{}, false
+	}
+	s.mu.Lock()
+	el, ok := s.items[id]
+	if ok {
+		s.order.MoveToFront(el)
+	}
+	s.mu.Unlock()
+	if !ok {
+		return obs.TraceBundle{}, false
+	}
+	return el.Value.(*traceEntry).tracer.Bundle(id, instance), true
+}
+
+// len returns the number of retained traces. Nil-safe (0).
+func (s *traceStore) len() int {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.order.Len()
+}
+
+// handleTraceFetch is GET /v1/trace/{id}: the shard-trace return channel. A
+// coordinator that dispatched work under a trace ID fetches the worker's
+// span collection for that trace and merges it with its own
+// (obs.WriteMergedTrace). 404 means the worker never collected the trace —
+// it saw no requests under that ID, or the collection was evicted.
+func (s *Server) handleTraceFetch(w http.ResponseWriter, r *http.Request) {
+	if s.traces == nil {
+		writeError(w, &httpError{status: http.StatusServiceUnavailable,
+			msg: "trace collection is disabled on this worker (-traces < 0)"})
+		return
+	}
+	id := r.PathValue("id")
+	if id == "" || len(id) > 64 {
+		writeError(w, badRequest("trace id must be 1-64 characters"))
+		return
+	}
+	b, ok := s.traces.bundle(id, s.instance)
+	if !ok {
+		writeError(w, &httpError{status: http.StatusNotFound,
+			msg: "unknown trace id (never collected, or evicted)"})
+		return
+	}
+	body, err := json.Marshal(b)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, body)
+}
+
+// validRequestID reports whether an inbound X-Request-ID is safe to adopt
+// for log correlation: short and drawn from a conservative charset, so a
+// hostile client cannot inject log records or unbounded labels.
+func validRequestID(id string) bool {
+	if id == "" || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9',
+			c == '-', c == '_', c == '.', c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}

@@ -16,6 +16,7 @@ trap cleanup EXIT
 
 go build -o "$dir/rayschedd" ./cmd/rayschedd
 go build -o "$dir/raysched" ./cmd/raysched
+go build -o "$dir/raybench" ./cmd/raybench
 
 params=(-networks 6 -links 16 -txseeds 2 -fadeseeds 2 -points 3 -seed 7)
 urls=http://127.0.0.1:18081,http://127.0.0.1:18082,http://127.0.0.1:18083
@@ -48,6 +49,7 @@ done
 "$dir/raysched" cluster "${params[@]}" \
   -workers "$urls" \
   -shard-size 1 -lease 5s -max-attempts 30 \
+  -trace "$dir/cluster.trace.json" \
   -out "$dir/cluster.csv" 2> "$dir/cluster.log"
 cat "$dir/cluster.log" >&2
 
@@ -60,3 +62,23 @@ fi
 
 cmp "$dir/single.csv" "$dir/cluster.csv"
 echo "cluster-smoke: merged output byte-identical to single-node run (one worker killed mid-shard)"
+
+# The merged trace must be a valid Chrome trace with nested spans from at
+# least three processes: the coordinator plus both surviving workers. (The
+# killed worker's spans died with it — that's expected, not tolerated-missing.)
+"$dir/raybench" tracecheck -nested -min-procs 3 "$dir/cluster.trace.json"
+
+# Keep the merged trace as a CI artifact when the workflow asks for it.
+if [[ -n "${CLUSTER_TRACE_OUT:-}" ]]; then
+  cp "$dir/cluster.trace.json" "$CLUSTER_TRACE_OUT"
+fi
+
+# One-shot aggregated telemetry across the survivors: both live workers must
+# show up in the scrape, and the killed one must be reported unreachable
+# without failing the command.
+"$dir/raysched" cluster -status -workers "$urls" > "$dir/status.txt"
+cat "$dir/status.txt"
+grep -q 'cluster: 2/3 workers live' "$dir/status.txt"
+grep -q '18082' "$dir/status.txt"
+grep -q '18083' "$dir/status.txt"
+echo "cluster-smoke: merged trace validated (3+ processes) and -status sees both survivors"
