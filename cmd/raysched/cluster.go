@@ -36,7 +36,11 @@ func cmdCluster(ctx context.Context, args []string) error {
 	shardSize := fs.Int("shard-size", 0, "replications per shard (0 = about four waves per worker)")
 	lease := fs.Duration("lease", 2*time.Minute, "per-dispatch lease; a worker missing its lease has the shard reassigned")
 	maxAttempts := fs.Int("max-attempts", 4, "dispatch attempts per shard across all workers before the run aborts")
-	deadAfter := fs.Int("dead-after", 2, "consecutive failures after which a worker is abandoned")
+	deadAfter := fs.Int("dead-after", 2, "consecutive failures after which a worker is quarantined")
+	journal := fs.String("journal", "", "journal landed shards into this directory; rerunning with the same directory resumes, re-dispatching only uncovered ranges")
+	hedge := fs.Duration("hedge", 0, "speculatively re-dispatch a shard in flight longer than this (0 = adaptive from completed shard durations, negative = off)")
+	probeInterval := fs.Duration("probe-interval", 2*time.Second, "base interval between /healthz probes of a quarantined worker")
+	maxProbes := fs.Int("max-probes", 8, "consecutive failed probes before a quarantined worker is declared dead")
 	format := fs.String("format", "md", "output format: csv, md, ascii, svg")
 	out := fs.String("out", "", "write CSV output atomically to this file instead of stdout (implies -format csv)")
 	mergedCk := fs.String("merged-checkpoint", "", "keep the merged checkpoint at this path (default: a temp file, removed afterwards)")
@@ -64,14 +68,18 @@ func cmdCluster(ctx context.Context, args []string) error {
 			TransmitSeeds: *txSeeds, FadingSeeds: *fdSeeds,
 			Points: *points, Seed: *seed, Topology: *topology,
 		},
-		shardSize:   *shardSize,
-		lease:       *lease,
-		maxAttempts: *maxAttempts,
-		deadAfter:   *deadAfter,
-		format:      *format,
-		out:         *out,
-		mergedCk:    *mergedCk,
-		progress:    *prog,
+		shardSize:     *shardSize,
+		lease:         *lease,
+		maxAttempts:   *maxAttempts,
+		deadAfter:     *deadAfter,
+		journal:       *journal,
+		hedge:         *hedge,
+		probeInterval: *probeInterval,
+		maxProbes:     *maxProbes,
+		format:        *format,
+		out:           *out,
+		mergedCk:      *mergedCk,
+		progress:      *prog,
 	})
 	if ferr := obsDone(); err == nil {
 		err = ferr
@@ -81,16 +89,20 @@ func cmdCluster(ctx context.Context, args []string) error {
 
 // clusterParams is the resolved flag set for one cluster run.
 type clusterParams struct {
-	workers     []string
-	wire        server.Figure1ShardConfig
-	shardSize   int
-	lease       time.Duration
-	maxAttempts int
-	deadAfter   int
-	format      string
-	out         string
-	mergedCk    string
-	progress    bool
+	workers       []string
+	wire          server.Figure1ShardConfig
+	shardSize     int
+	lease         time.Duration
+	maxAttempts   int
+	deadAfter     int
+	journal       string
+	hedge         time.Duration
+	probeInterval time.Duration
+	maxProbes     int
+	format        string
+	out           string
+	mergedCk      string
+	progress      bool
 }
 
 func runCluster(ctx context.Context, of *obsFlags, p clusterParams) error {
@@ -118,14 +130,18 @@ func runCluster(ctx context.Context, of *obsFlags, p clusterParams) error {
 	}
 
 	co, err := dist.New(dist.Config{
-		Workers:      p.workers,
-		ShardSize:    p.shardSize,
-		LeaseTimeout: p.lease,
-		MaxAttempts:  p.maxAttempts,
-		DeadAfter:    p.deadAfter,
-		Client:       client.Config{JitterSeed: p.wire.Seed},
-		Log:          log,
-		Tracker:      tracker,
+		Workers:       p.workers,
+		ShardSize:     p.shardSize,
+		LeaseTimeout:  p.lease,
+		MaxAttempts:   p.maxAttempts,
+		DeadAfter:     p.deadAfter,
+		JournalDir:    p.journal,
+		HedgeAfter:    p.hedge,
+		ProbeInterval: p.probeInterval,
+		MaxProbes:     p.maxProbes,
+		Client:        client.Config{JitterSeed: p.wire.Seed},
+		Log:           log,
+		Tracker:       tracker,
 	})
 	if err != nil {
 		return err
@@ -156,11 +172,11 @@ func runCluster(ctx context.Context, of *obsFlags, p clusterParams) error {
 	}
 	results, st, err := co.Run(ctx, job)
 	if err != nil {
-		return fmt.Errorf("cluster run (%d/%d shards merged, %d reassigned, %d dead workers): %w",
-			st.Completed, st.Shards, st.Reassigned, st.DeadWorkers, err)
+		return fmt.Errorf("cluster run (%d/%d shards merged, %d resumed, %d reassigned, %d dead workers): %w",
+			st.Completed, st.Shards, st.Resumed, st.Reassigned, st.DeadWorkers, err)
 	}
-	fmt.Fprintf(os.Stderr, "raysched: cluster: %d shards merged, %d reassigned, %d dead workers\n",
-		st.Shards, st.Reassigned, st.DeadWorkers)
+	fmt.Fprintf(os.Stderr, "raysched: cluster: %d shards merged (%d resumed from journal), %d reassigned, %d hedged, %d quarantined (%d readmitted), %d dead workers\n",
+		st.Shards, st.Resumed, st.Reassigned, st.Hedged, st.Quarantined, st.Readmitted, st.DeadWorkers)
 
 	// With tracing on, pull each surviving worker's span collection for this
 	// run so of's finish writes one merged cluster trace. The trace ID is

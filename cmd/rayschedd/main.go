@@ -8,7 +8,8 @@
 //	rayschedd -addr :8080
 //
 // The daemon shuts down gracefully on SIGINT/SIGTERM: it stops accepting
-// connections, drains in-flight requests (bounded by -drain), then drains
+// connections, refuses new work (healthz reports "draining"), finishes
+// in-flight requests (bounded by -drain-timeout), then drains
 // the worker pool.
 package main
 
@@ -48,12 +49,14 @@ func run(args []string, stdout, stderr *os.File) int {
 		maxBody     = fs.Int64("max-body", 16<<20, "largest accepted request body (bytes)")
 		sessions    = fs.Int("sessions", 128, "topology session entries (0 disables the session API)")
 		batchLines  = fs.Int("batch-lines", 10000, "largest accepted /v1/estimate/batch request (lines)")
-		drain       = fs.Duration("drain", 10*time.Second, "graceful-shutdown drain window")
+		drain       = fs.Duration("drain-timeout", 10*time.Second, "graceful-shutdown drain window")
 		logLevel    = fs.String("log-level", "info", "access-log level: debug, info, warn, error, or off")
 		debug       = fs.Bool("debug", false, "mount /debug/obs and /debug/pprof/ (exposes runtime internals)")
 		faultSpec   = fs.String("faults", "", `inject deterministic faults, e.g. "seed=1,server.handler=error:0.1,pool.job=panic:0.01"`)
 		showVersion = fs.Bool("version", false, "print version and exit")
 	)
+	// -drain predates -drain-timeout; both names set the same window.
+	fs.DurationVar(drain, "drain", *drain, "alias for -drain-timeout")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -132,10 +135,22 @@ func run(args []string, stdout, stderr *os.File) int {
 	case <-ctx.Done():
 	}
 
-	// Two-phase graceful shutdown: stop intake and drain in-flight HTTP,
-	// then drain the worker pool.
-	fmt.Fprintln(stdout, "rayschedd: shutting down")
-	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	// Three-phase graceful drain. First flip the server into drain mode: new
+	// POSTs answer 503 + Retry-After and /healthz reports "draining", so a
+	// cluster coordinator routes around this worker instead of burning lease
+	// attempts against a dying socket. Then wait (bounded by -drain-timeout)
+	// for queued and in-flight compute to finish, then stop the listener and
+	// drain the pool.
+	fmt.Fprintln(stdout, "rayschedd: draining")
+	srv.SetDraining(true)
+	deadline := time.Now().Add(*drain)
+	for srv.Busy() && time.Now().Before(deadline) {
+		time.Sleep(50 * time.Millisecond)
+	}
+	if srv.Busy() {
+		fmt.Fprintf(stderr, "rayschedd: drain window (%s) expired with work in flight\n", *drain)
+	}
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Second)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		fmt.Fprintf(stderr, "rayschedd: shutdown: %v\n", err)

@@ -22,6 +22,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"rayfade/internal/faults"
 	"rayfade/internal/obs"
 	"rayfade/internal/rng"
 )
@@ -201,27 +202,46 @@ func (c *Client) post(ctx context.Context, path, contentType string, body []byte
 		}
 		c.attempts.Add(1)
 		sp.SetAttr("attempts", attempt+1)
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
-		if err != nil {
-			c.failures.Add(1)
-			return nil, 0, err
-		}
-		req.Header.Set("Content-Type", contentType)
-		req.Header.Set("X-Request-ID", reqID)
-		if traceHeader != "" {
-			req.Header.Set(obs.HeaderTraceContext, traceHeader)
-		}
-		resp, err := c.http.Do(req)
 		var (
 			status     int
 			respBody   []byte
 			retryAfter time.Duration
 		)
+		// Chaos hooks, free when disarmed: client.latency models a slow link
+		// (the injected delay goes through cfg.Sleep, so tests with a fake
+		// clock never really wait), client.blackhole models a partition (the
+		// attempt burns without touching the wire and is retried per policy).
+		// Either site's error kind consumes the attempt as a transport
+		// failure.
+		delay, err := faults.Check(faults.SiteClientLatency)
+		if delay > 0 {
+			if serr := c.cfg.Sleep(ctx, delay); serr != nil {
+				c.failures.Add(1)
+				return nil, 0, serr
+			}
+		}
 		if err == nil {
-			status = resp.StatusCode
-			respBody, err = io.ReadAll(resp.Body)
-			retryAfter = parseRetryAfter(resp)
-			resp.Body.Close()
+			_, err = faults.Check(faults.SiteClientBlackhole)
+		}
+		if err == nil {
+			req, rerr := http.NewRequestWithContext(ctx, http.MethodPost, c.cfg.BaseURL+path, bytes.NewReader(body))
+			if rerr != nil {
+				c.failures.Add(1)
+				return nil, 0, rerr
+			}
+			req.Header.Set("Content-Type", contentType)
+			req.Header.Set("X-Request-ID", reqID)
+			if traceHeader != "" {
+				req.Header.Set(obs.HeaderTraceContext, traceHeader)
+			}
+			var resp *http.Response
+			resp, err = c.http.Do(req)
+			if err == nil {
+				status = resp.StatusCode
+				respBody, err = io.ReadAll(resp.Body)
+				retryAfter = parseRetryAfter(resp)
+				resp.Body.Close()
+			}
 		}
 		switch {
 		case err != nil:

@@ -11,6 +11,7 @@ import (
 	"testing"
 	"time"
 
+	"rayfade/internal/faults"
 	"rayfade/internal/obs"
 )
 
@@ -342,5 +343,88 @@ func TestAttemptsAttrCountsRetries(t *testing.T) {
 		if a.Key == "attempts" && a.Value != 3 {
 			t.Fatalf("attempts = %v, want 3", a.Value)
 		}
+	}
+}
+
+// armFaults installs a fault injector for the test and restores the clean
+// default afterwards, keeping the package-global state from leaking.
+func armFaults(t *testing.T, spec string) *faults.Injector {
+	t.Helper()
+	inj, err := faults.Parse(spec)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", spec, err)
+	}
+	faults.SetDefault(inj)
+	t.Cleanup(func() { faults.SetDefault(nil) })
+	return inj
+}
+
+func TestClientLatencyFaultGoesThroughInjectableSleep(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Write([]byte(`ok`))
+	}))
+	defer ts.Close()
+	armFaults(t, "seed=3,client.latency=delay:1:300ms")
+	c, fs := newTestClient(t, ts, Config{})
+	start := time.Now()
+	out, status, err := c.PostJSON(context.Background(), "/v1/x", nil)
+	if err != nil || status != 200 || string(out) != "ok" {
+		t.Fatalf("out=%q status=%d err=%v", out, status, err)
+	}
+	if elapsed := time.Since(start); elapsed > 100*time.Millisecond {
+		t.Fatalf("latency fault really slept (%v); must go through cfg.Sleep", elapsed)
+	}
+	if len(fs.delays) != 1 || fs.delays[0] != 300*time.Millisecond {
+		t.Fatalf("recorded sleeps %v, want exactly [300ms]", fs.delays)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 — latency must not drop the request", calls.Load())
+	}
+}
+
+func TestClientBlackholeFaultBurnsAttemptsOffTheWire(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Write([]byte(`ok`))
+	}))
+	defer ts.Close()
+	inj := armFaults(t, "seed=3,client.blackhole=error:1")
+	c, fs := newTestClient(t, ts, Config{MaxAttempts: 3})
+	_, _, err := c.PostJSON(context.Background(), "/v1/x", nil)
+	if err == nil || !strings.Contains(err.Error(), "retry budget") {
+		t.Fatalf("err = %v, want budget exhaustion", err)
+	}
+	if !errors.Is(err, faults.ErrInjected) {
+		t.Fatalf("err = %v, want wrapped ErrInjected", err)
+	}
+	if calls.Load() != 0 {
+		t.Fatalf("server saw %d calls; a blackholed attempt must never reach the wire", calls.Load())
+	}
+	if len(fs.delays) != 2 {
+		t.Fatalf("%d backoff pauses, want MaxAttempts-1", len(fs.delays))
+	}
+	if inj.Fired() != 3 {
+		t.Fatalf("fired = %d, want one blackhole per attempt", inj.Fired())
+	}
+	if st := c.Stats(); st.Attempts != 3 || st.Failures != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+}
+
+func TestClientFaultsDisarmedAreFree(t *testing.T) {
+	faults.SetDefault(nil)
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Write([]byte(`ok`))
+	}))
+	defer ts.Close()
+	c, fs := newTestClient(t, ts, Config{})
+	if _, status, err := c.PostJSON(context.Background(), "/v1/x", nil); err != nil || status != 200 {
+		t.Fatalf("status=%d err=%v", status, err)
+	}
+	if len(fs.delays) != 0 {
+		t.Fatalf("disarmed faults caused sleeps %v", fs.delays)
 	}
 }

@@ -137,15 +137,19 @@ func TestClusterSurvivesDeadWorker(t *testing.T) {
 	deadTS := httptest.NewServer(http.NotFoundHandler())
 	deadURL := deadTS.URL
 	deadTS.Close()
-	// DeadAfter 1 makes death deterministic: with 2 the run can drain the
-	// queue before the dead worker pulls a second task, leaving it merely
-	// suspect when the run completes.
+	// DeadAfter 1 makes quarantine entry deterministic: with 2 the run can
+	// drain the queue before the dead worker pulls a second task, leaving it
+	// merely suspect when the run completes. A tight probe budget turns the
+	// quarantine into permanent death quickly (the probes also fail — the
+	// socket is gone).
 	co, err := New(Config{
-		Workers:     append([]string{deadURL}, urls...),
-		ShardSize:   1,
-		MaxAttempts: 6,
-		DeadAfter:   1,
-		Client:      fastClient(),
+		Workers:       append([]string{deadURL}, urls...),
+		ShardSize:     1,
+		MaxAttempts:   6,
+		DeadAfter:     1,
+		ProbeInterval: time.Millisecond,
+		MaxProbes:     2,
+		Client:        fastClient(),
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -153,6 +157,9 @@ func TestClusterSurvivesDeadWorker(t *testing.T) {
 	got, stats := clusterCSV(t, co, w)
 	if stats.Reassigned == 0 {
 		t.Errorf("stats %+v: expected reassignments from the dead worker", stats)
+	}
+	if stats.Quarantined == 0 {
+		t.Errorf("stats %+v: death must pass through quarantine", stats)
 	}
 	if stats.DeadWorkers != 1 {
 		t.Errorf("stats %+v: expected exactly one dead worker", stats)
@@ -269,11 +276,13 @@ func TestClusterAllWorkersDeadFails(t *testing.T) {
 	cc := fastClient()
 	cc.MaxAttempts = 1
 	co, err := New(Config{
-		Workers:     []string{deadURL},
-		ShardSize:   1,
-		MaxAttempts: 100, // shard budget must not be the thing that fails
-		DeadAfter:   2,
-		Client:      cc,
+		Workers:       []string{deadURL},
+		ShardSize:     1,
+		MaxAttempts:   100, // shard budget must not be the thing that fails
+		DeadAfter:     2,
+		ProbeInterval: time.Millisecond,
+		MaxProbes:     2,
+		Client:        cc,
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -1,0 +1,113 @@
+// Shard journal: the coordinator's crash-safety layer. As each shard
+// document lands it is spilled to a journal directory with an atomic write
+// (write-temp, fsync, rename — internal/fsio), named by its index range. A
+// resumed coordinator loads the directory, keeps every file that decodes as
+// a valid sealed shard for the same run identity, and re-dispatches only the
+// uncovered ranges; because shard bytes are worker-independent, the merged
+// artifact is byte-identical to an uninterrupted run.
+//
+// The journal needs no manifest: every shard document already carries the
+// run identity (Experiment, ConfigSHA, Reps) and its range inside the sealed
+// checkpoint envelope, and the envelope's SHA-256 makes tampering or a torn
+// write detectable. Invalid files are discarded (and logged), never merged —
+// their ranges are simply recomputed, and the fresh document overwrites or
+// shadows the bad file.
+package dist
+
+import (
+	"fmt"
+	"log/slog"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"rayfade/internal/fsio"
+	"rayfade/internal/sim"
+)
+
+// journalExt marks journal shard files; everything else in the directory is
+// ignored, so the journal can share a scratch directory with temp files.
+const journalExt = ".shard"
+
+type journal struct {
+	dir string
+}
+
+// openJournal ensures dir exists and returns the journal over it.
+func openJournal(dir string) (*journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("dist: journal dir: %w", err)
+	}
+	return &journal{dir: dir}, nil
+}
+
+// record spills one validated shard document. The filename encodes the range
+// so a recomputation of the same range overwrites its predecessor, and the
+// atomic write means a crash mid-spill leaves either the old bytes or the
+// new — never a torn file (a torn rename survivor fails its SHA on load).
+func (j *journal) record(sh *sim.Shard) error {
+	doc, err := sh.Encode()
+	if err != nil {
+		return err
+	}
+	name := fmt.Sprintf("shard-%08d-%08d%s", sh.Lo, sh.Hi, journalExt)
+	return fsio.WriteFileAtomic(filepath.Join(j.dir, name), doc, 0o644)
+}
+
+// load reads every journal shard valid for job and returns them sorted by Lo
+// with overlaps dropped (greedy first-by-Lo wins). Corrupt files, shards
+// from a different run, and overlapping ranges are skipped with a warning —
+// resume must degrade to recomputation, never to a wrong merge.
+func (j *journal) load(job Job, log *slog.Logger) []*sim.Shard {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		log.Warn("dist: journal unreadable, resuming nothing", "dir", j.dir, "err", err.Error())
+		return nil
+	}
+	var restored []*sim.Shard
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), journalExt) {
+			continue
+		}
+		path := filepath.Join(j.dir, e.Name())
+		data, rerr := os.ReadFile(path)
+		if rerr != nil {
+			log.Warn("dist: journal file unreadable, discarding", "file", e.Name(), "err", rerr.Error())
+			continue
+		}
+		sh, derr := sim.DecodeShard(data)
+		if derr != nil {
+			log.Warn("dist: journal file invalid, discarding (range will be recomputed)",
+				"file", e.Name(), "err", derr.Error())
+			continue
+		}
+		if sh.Experiment != job.Experiment || sh.ConfigSHA != job.ConfigSHA || sh.Reps != job.Reps {
+			log.Warn("dist: journal file belongs to a different run, ignoring",
+				"file", e.Name(), "experiment", sh.Experiment, "config_sha", short(sh.ConfigSHA), "reps", sh.Reps)
+			continue
+		}
+		restored = append(restored, sh)
+	}
+	sort.Slice(restored, func(a, b int) bool { return restored[a].Lo < restored[b].Lo })
+	kept := restored[:0]
+	next := 0
+	for _, sh := range restored {
+		if sh.Lo < next {
+			log.Warn("dist: journal shard overlaps an earlier one, discarding",
+				"lo", sh.Lo, "hi", sh.Hi, "covered_to", next)
+			continue
+		}
+		kept = append(kept, sh)
+		next = sh.Hi
+	}
+	return kept
+}
+
+// short abbreviates a config SHA for log fields.
+func short(sha string) string {
+	if len(sha) > 12 {
+		return sha[:12]
+	}
+	return sha
+}

@@ -1,0 +1,259 @@
+package dist
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"testing"
+
+	"rayfade/internal/server"
+	"rayfade/internal/sim"
+)
+
+// rangeRecorder collects the [lo,hi) ranges a worker was asked to compute —
+// the resume tests' proof that only uncovered ranges were re-dispatched.
+type rangeRecorder struct {
+	mu     sync.Mutex
+	ranges [][2]int
+}
+
+func (rr *rangeRecorder) sorted() [][2]int {
+	rr.mu.Lock()
+	defer rr.mu.Unlock()
+	out := append([][2]int(nil), rr.ranges...)
+	sort.Slice(out, func(a, b int) bool { return out[a][0] < out[b][0] })
+	return out
+}
+
+// recordingWorker is a rayschedd instance whose /v1/shard requests are
+// range-logged into rr.
+func recordingWorker(t *testing.T, rr *rangeRecorder) string {
+	t.Helper()
+	backend := server.New(server.Config{Workers: 2, QueueSize: 16})
+	ts := httptest.NewServer(http.HandlerFunc(func(rw http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/v1/shard" {
+			body, err := io.ReadAll(r.Body)
+			if err == nil {
+				var req struct {
+					Lo int `json:"lo"`
+					Hi int `json:"hi"`
+				}
+				if json.Unmarshal(body, &req) == nil {
+					rr.mu.Lock()
+					rr.ranges = append(rr.ranges, [2]int{req.Lo, req.Hi})
+					rr.mu.Unlock()
+				}
+				r.Body = io.NopCloser(bytes.NewReader(body))
+			}
+		}
+		backend.ServeHTTP(rw, r)
+	}))
+	t.Cleanup(func() { ts.Close(); backend.Close() })
+	return ts.URL
+}
+
+// journalFiles lists the shard files currently in dir.
+func journalFiles(t *testing.T, dir string) []string {
+	t.Helper()
+	matches, err := filepath.Glob(filepath.Join(dir, "*"+journalExt))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sort.Strings(matches)
+	return matches
+}
+
+// TestClusterJournalResume is the coordinator-crash story in miniature: a
+// full journaled run stands in for the part of a run that completed before a
+// SIGKILL; deleting journal files simulates the ranges the killed
+// coordinator never finished. The resumed run must dispatch exactly the
+// missing ranges and still produce byte-identical output.
+func TestClusterJournalResume(t *testing.T) {
+	w := testFigure1()
+	jdir := filepath.Join(t.TempDir(), "journal")
+
+	co, err := New(Config{
+		Workers:    startWorkers(t, 2),
+		ShardSize:  1,
+		JournalDir: jdir,
+		Client:     fastClient(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, stats := clusterCSV(t, co, w)
+	if stats.Completed != 6 || stats.Resumed != 0 {
+		t.Fatalf("first run stats %+v, want 6 completed / 0 resumed", stats)
+	}
+	files := journalFiles(t, jdir)
+	if len(files) != 6 {
+		t.Fatalf("journal holds %d files, want 6: %v", len(files), files)
+	}
+
+	// "Crash": lose the shards for ranges [2,3) and [5,6).
+	for _, lost := range []string{"shard-00000002-00000003.shard", "shard-00000005-00000006.shard"} {
+		if err := os.Remove(filepath.Join(jdir, lost)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	rr := &rangeRecorder{}
+	co2, err := New(Config{
+		Workers:    []string{recordingWorker(t, rr)},
+		ShardSize:  1,
+		JournalDir: jdir,
+		Client:     fastClient(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, stats2 := clusterCSV(t, co2, w)
+	if stats2.Resumed != 4 || stats2.Completed != 2 || stats2.Shards != 6 {
+		t.Fatalf("resume stats %+v, want 4 resumed + 2 completed = 6 shards", stats2)
+	}
+	if got, want := rr.sorted(), [][2]int{{2, 3}, {5, 6}}; len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+		t.Fatalf("resume dispatched ranges %v, want exactly the lost %v", got, want)
+	}
+	if !bytes.Equal(first, resumed) {
+		t.Fatal("resumed run differs from the uninterrupted run")
+	}
+	if want := singleNodeCSV(t, w); !bytes.Equal(resumed, want) {
+		t.Fatal("resumed run differs from the single-node run")
+	}
+}
+
+// TestClusterJournalTamper: a corrupted journal file must be discarded and
+// its range recomputed — merging it would poison the artifact silently.
+func TestClusterJournalTamper(t *testing.T) {
+	w := testFigure1()
+	jdir := filepath.Join(t.TempDir(), "journal")
+	co, err := New(Config{
+		Workers:    startWorkers(t, 2),
+		ShardSize:  1,
+		JournalDir: jdir,
+		Client:     fastClient(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := clusterCSV(t, co, w)
+
+	// Flip one byte mid-file: the envelope SHA no longer matches.
+	victim := filepath.Join(jdir, "shard-00000003-00000004.shard")
+	data, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0x40
+	if err := os.WriteFile(victim, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	rr := &rangeRecorder{}
+	co2, err := New(Config{
+		Workers:    []string{recordingWorker(t, rr)},
+		ShardSize:  1,
+		JournalDir: jdir,
+		Client:     fastClient(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, stats := clusterCSV(t, co2, w)
+	if stats.Resumed != 5 || stats.Completed != 1 {
+		t.Fatalf("tamper-resume stats %+v, want 5 resumed + 1 recomputed", stats)
+	}
+	if got := rr.sorted(); len(got) != 1 || got[0] != [2]int{3, 4} {
+		t.Fatalf("tamper-resume dispatched %v, want exactly [[3 4]]", got)
+	}
+	if !bytes.Equal(first, resumed) {
+		t.Fatal("tamper-resumed run differs from the clean run")
+	}
+	// The recomputation must have overwritten the tampered file with a valid
+	// document.
+	fixed, err := os.ReadFile(victim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sim.DecodeShard(fixed); err != nil {
+		t.Fatalf("journal file not repaired after recomputation: %v", err)
+	}
+}
+
+// TestClusterJournalComplete: a journal covering the whole run resumes to a
+// finished artifact without touching any worker — the worker URL here is
+// dead on purpose.
+func TestClusterJournalComplete(t *testing.T) {
+	w := testFigure1()
+	jdir := filepath.Join(t.TempDir(), "journal")
+	co, err := New(Config{
+		Workers:    startWorkers(t, 2),
+		ShardSize:  1,
+		JournalDir: jdir,
+		Client:     fastClient(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := clusterCSV(t, co, w)
+
+	deadTS := httptest.NewServer(http.NotFoundHandler())
+	deadURL := deadTS.URL
+	deadTS.Close()
+	co2, err := New(Config{
+		Workers:    []string{deadURL},
+		ShardSize:  1,
+		JournalDir: jdir,
+		Client:     fastClient(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, stats := clusterCSV(t, co2, w)
+	if stats.Resumed != 6 || stats.Completed != 0 {
+		t.Fatalf("complete-journal stats %+v, want 6 resumed / 0 dispatched", stats)
+	}
+	if !bytes.Equal(first, resumed) {
+		t.Fatal("journal-only resume differs from the original run")
+	}
+}
+
+// TestJournalIgnoresForeignRuns: shards journaled under a different config
+// SHA must not be restored into this run.
+func TestJournalIgnoresForeignRuns(t *testing.T) {
+	w := testFigure1()
+	jdir := filepath.Join(t.TempDir(), "journal")
+	j, err := openJournal(jdir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	foreign := &sim.Shard{
+		Experiment: sim.ExperimentFigure1, ConfigSHA: "deadbeef", Reps: 6, Lo: 0, Hi: 3,
+		Results: map[int]json.RawMessage{0: json.RawMessage(`{}`), 1: json.RawMessage(`{}`), 2: json.RawMessage(`{}`)},
+	}
+	if err := j.record(foreign); err != nil {
+		t.Fatal(err)
+	}
+	co, err := New(Config{
+		Workers:    startWorkers(t, 2),
+		ShardSize:  1,
+		JournalDir: jdir,
+		Client:     fastClient(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats := clusterCSV(t, co, w)
+	if stats.Resumed != 0 || stats.Completed != 6 {
+		t.Fatalf("stats %+v: a foreign shard leaked into the resume set", stats)
+	}
+	if want := singleNodeCSV(t, w); !bytes.Equal(got, want) {
+		t.Fatal("run with a foreign journal shard differs from single-node")
+	}
+}

@@ -47,7 +47,9 @@ type WorkerSnapshot struct {
 	URL string
 	Err error
 
-	// Identity, from /healthz (cross-checked against rayschedd_build_info).
+	// Identity and lifecycle state, from /healthz (identity cross-checked
+	// against rayschedd_build_info). Status is "ok" or "draining".
+	Status     string
 	Instance   string
 	Version    string
 	GoMaxProcs int
@@ -130,6 +132,7 @@ func scrapeWorker(ctx context.Context, httpClient *http.Client, baseURL string) 
 		ws.Err = err
 		return ws
 	}
+	ws.Status = h.Status
 	ws.Instance = h.Instance
 	ws.Version = h.Version
 	ws.GoMaxProcs = h.GoMaxProcs
@@ -372,8 +375,12 @@ func (s *ClusterSnapshot) WriteText(w io.Writer) {
 			fmt.Fprintf(w, "\nworker %s  UNREACHABLE: %v\n", ws.URL, ws.Err)
 			continue
 		}
-		fmt.Fprintf(w, "\nworker %s  instance=%s version=%s gomaxprocs=%d\n",
+		fmt.Fprintf(w, "\nworker %s  instance=%s version=%s gomaxprocs=%d",
 			ws.URL, ws.Instance, ws.Version, ws.GoMaxProcs)
+		if ws.Status != "" && ws.Status != "ok" {
+			fmt.Fprintf(w, " status=%s", ws.Status)
+		}
+		fmt.Fprintln(w)
 		fmt.Fprintf(w, "  shards: %d completed, %d in flight   cache: %s   singleflight: %d shared   sessions: %s   batch lines: %d   traces held: %d\n",
 			ws.ShardsCompleted, ws.ShardsInflight,
 			hitRate(ws.CacheHits, ws.CacheMisses),

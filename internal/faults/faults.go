@@ -76,6 +76,18 @@ const (
 	// dispatch: the shard's lease is released and it is reassigned — the
 	// same path a dead worker exercises, made deterministic for tests.
 	SiteDistShard = "dist.shard"
+	// SiteClientLatency fires before every HTTP attempt in internal/client.
+	// Kind "delay" simulates a slow link: the client applies the returned
+	// delay through its injectable Sleep (via Check), so chaos tests advance
+	// a fake clock instead of really sleeping. Kind "error" behaves like a
+	// blackhole on this attempt.
+	SiteClientLatency = "client.latency"
+	// SiteClientBlackhole fires before every HTTP attempt in internal/client.
+	// Kind "error" simulates a network partition: the attempt fails before
+	// reaching the wire and is retried per the client's policy — the
+	// deterministic stand-in for pulling a worker's cable, driving the
+	// coordinator's lease-reassignment and quarantine paths in tests.
+	SiteClientBlackhole = "client.blackhole"
 )
 
 // Kind enumerates the injectable faults.
@@ -263,14 +275,33 @@ func PartialWrite(siteName string, n int) (int, bool) {
 	return defaultInjector.Load().PartialWrite(siteName, n)
 }
 
+// Check evaluates the named site's rules on the process-default injector
+// like Inject, but returns any firing delay instead of sleeping it off, so
+// callers with injectable clocks (internal/client) can apply the delay
+// through their own Sleep. A firing panic rule still panics; a firing error
+// rule is returned as a wrapped ErrInjected alongside the delay. With no
+// injector installed it is a single atomic load.
+func Check(siteName string) (time.Duration, error) {
+	return defaultInjector.Load().Check(siteName)
+}
+
 // Inject is the method form of the package-level Inject; nil-safe.
 func (inj *Injector) Inject(siteName string) error {
+	d, err := inj.Check(siteName)
+	if d > 0 {
+		time.Sleep(d)
+	}
+	return err
+}
+
+// Check is the method form of the package-level Check; nil-safe.
+func (inj *Injector) Check(siteName string) (time.Duration, error) {
 	if inj == nil {
-		return nil
+		return 0, nil
 	}
 	s, ok := inj.sites[siteName]
 	if !ok {
-		return nil
+		return 0, nil
 	}
 	var (
 		sleep time.Duration
@@ -297,17 +328,14 @@ func (inj *Injector) Inject(siteName string) error {
 		}
 	}
 	s.mu.Unlock()
-	if sleep > 0 {
-		time.Sleep(sleep)
-	}
 	if act == nil {
-		return nil
+		return sleep, nil
 	}
 	switch act.kind {
 	case KindPanic:
 		panic(fmt.Sprintf("faults: injected panic at site %q", siteName))
 	default:
-		return fmt.Errorf("faults: site %q: %w", siteName, ErrInjected)
+		return sleep, fmt.Errorf("faults: site %q: %w", siteName, ErrInjected)
 	}
 }
 

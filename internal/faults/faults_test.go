@@ -268,3 +268,49 @@ func BenchmarkInjectDisabled(b *testing.B) {
 		}
 	}
 }
+
+func TestCheckReturnsDelayWithoutSleeping(t *testing.T) {
+	inj, err := Parse("seed=3,client.latency=delay:1:250ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	d, cerr := inj.Check(SiteClientLatency)
+	if elapsed := time.Since(start); elapsed > 50*time.Millisecond {
+		t.Fatalf("Check slept %v; it must return the delay instead", elapsed)
+	}
+	if cerr != nil {
+		t.Fatalf("Check error: %v", cerr)
+	}
+	if d != 250*time.Millisecond {
+		t.Fatalf("Check delay = %v, want 250ms", d)
+	}
+	if got := inj.Snapshot()["client.latency/delay"]; got != 1 {
+		t.Fatalf("fired tally = %d, want 1", got)
+	}
+}
+
+func TestCheckReturnsErrorAndDelayTogether(t *testing.T) {
+	inj, err := Parse("seed=3,client.blackhole=error:1,client.blackhole=delay:1:5ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, cerr := inj.Check(SiteClientBlackhole)
+	if !errors.Is(cerr, ErrInjected) {
+		t.Fatalf("Check error = %v, want ErrInjected", cerr)
+	}
+	if d != 5*time.Millisecond {
+		t.Fatalf("Check delay = %v, want 5ms", d)
+	}
+}
+
+func TestCheckNilSafe(t *testing.T) {
+	var inj *Injector
+	if d, err := inj.Check(SiteClientLatency); d != 0 || err != nil {
+		t.Fatalf("nil Check = (%v, %v)", d, err)
+	}
+	SetDefault(nil)
+	if d, err := Check(SiteClientBlackhole); d != 0 || err != nil {
+		t.Fatalf("package Check with no default = (%v, %v)", d, err)
+	}
+}

@@ -179,6 +179,13 @@ type Server struct {
 	// workers; shardsCompleted tallies successfully sealed shard documents.
 	shardsInflight  atomic.Int64
 	shardsCompleted *obs.Counter
+
+	// draining gates new work intake: while set, POST endpoints answer 503 +
+	// Retry-After and /healthz reports "draining" so coordinators stop
+	// dispatching here instead of burning lease attempts. GETs (healthz,
+	// metrics, trace fetch) stay live — operators and coordinators still need
+	// to watch the drain.
+	draining atomic.Bool
 }
 
 // New builds a ready-to-serve Server. The caller owns its lifecycle: serve
@@ -261,6 +268,19 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // Close drains the worker pool: queued and in-flight jobs finish, new Do
 // calls fail. Call it after http.Server.Shutdown has returned.
 func (s *Server) Close() { s.pool.Close() }
+
+// SetDraining toggles drain mode (see the draining field). Safe to call
+// concurrently with requests; flipping back to false re-opens intake.
+func (s *Server) SetDraining(v bool) { s.draining.Store(v) }
+
+// Draining reports whether drain mode is set.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Busy reports whether compute work is still queued or in flight — the
+// condition a draining daemon waits to clear before exiting.
+func (s *Server) Busy() bool {
+	return s.pool.InFlight() > 0 || s.pool.QueueDepth() > 0
+}
 
 // statusWriter captures the status code for metrics, plus the pool
 // admission facts serve() stashes for the access log and queue-wait
@@ -371,6 +391,16 @@ func (s *Server) instrumented(endpoint string, h http.HandlerFunc) http.HandlerF
 				"queue_wait", sw.queueWait.Round(time.Microsecond).String(),
 			)
 		}()
+		// Drain gate: a draining daemon refuses new compute work with the
+		// same retryable-outage contract as an injected 503, so a
+		// coordinator's client backs off and tries another worker instead of
+		// counting a lease failure. The refusal still flows through the
+		// accounting defer above — drained requests are logged and counted.
+		if r.Method == http.MethodPost && s.draining.Load() {
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, &httpError{status: http.StatusServiceUnavailable, msg: "server: draining"})
+			return
+		}
 		h(sw, r.WithContext(ctx))
 	}
 }
@@ -808,8 +838,12 @@ func (s *Server) handleTopology(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	body, _ := json.Marshal(healthResponse{
-		Status:          "ok",
+		Status:          status,
 		Version:         version.Version,
 		Instance:        s.instance,
 		GoMaxProcs:      runtime.GOMAXPROCS(0),

@@ -406,3 +406,59 @@ func TestConcurrentHammer(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+func TestDrainRefusesPostsAndRecovers(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	topo := testTopology(t, 12, 5)
+	body := reqBody(t, topo, map[string]any{"algorithm": "greedy"})
+
+	// Healthy first: the request computes and healthz says ok.
+	resp, _ := post(t, ts, "/v1/schedule", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("pre-drain status = %d", resp.StatusCode)
+	}
+	s.SetDraining(true)
+	if !s.Draining() {
+		t.Fatal("Draining() = false after SetDraining(true)")
+	}
+	resp, out := post(t, ts, "/v1/schedule", body)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("draining status = %d, want 503", resp.StatusCode)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("draining 503 must carry Retry-After")
+	}
+	if !strings.Contains(string(out), "draining") {
+		t.Fatalf("draining body %q does not say why", out)
+	}
+
+	// GETs stay live so the drain is observable.
+	hr, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, _ := io.ReadAll(hr.Body)
+	hr.Body.Close()
+	if hr.StatusCode != 200 {
+		t.Fatalf("healthz during drain = %d, want 200", hr.StatusCode)
+	}
+	var health struct {
+		Status string `json:"status"`
+	}
+	if err := json.Unmarshal(hb, &health); err != nil {
+		t.Fatal(err)
+	}
+	if health.Status != "draining" {
+		t.Fatalf("healthz status = %q, want draining", health.Status)
+	}
+
+	// Drain is reversible: intake re-opens.
+	s.SetDraining(false)
+	resp, _ = post(t, ts, "/v1/schedule", body)
+	if resp.StatusCode != 200 {
+		t.Fatalf("post-drain status = %d", resp.StatusCode)
+	}
+	if s.Busy() {
+		t.Fatal("Busy() with no work in flight")
+	}
+}

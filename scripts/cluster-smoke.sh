@@ -44,11 +44,14 @@ done
 
 # Kill worker 1 one second into the distributed run — mid-shard, since its
 # first replication alone takes 3s. Its leased shard must be reassigned.
+# Hedging is disabled for this phase: it would speculatively rescue the stuck
+# shard long before the lease expires, and this phase exists to prove the
+# lease-reassignment path. (Hedging has its own -race unit tests.)
 ( sleep 1; kill -9 "$w1" 2>/dev/null || true ) &
 
 "$dir/raysched" cluster "${params[@]}" \
   -workers "$urls" \
-  -shard-size 1 -lease 5s -max-attempts 30 \
+  -shard-size 1 -lease 5s -max-attempts 30 -hedge=-1s \
   -trace "$dir/cluster.trace.json" \
   -out "$dir/cluster.csv" 2> "$dir/cluster.log"
 cat "$dir/cluster.log" >&2
@@ -82,3 +85,57 @@ grep -q 'cluster: 2/3 workers live' "$dir/status.txt"
 grep -q '18082' "$dir/status.txt"
 grep -q '18083' "$dir/status.txt"
 echo "cluster-smoke: merged trace validated (3+ processes) and -status sees both survivors"
+
+# ---------------------------------------------------------------------------
+# Phase 2: kill the COORDINATOR mid-run, then resume from its shard journal.
+# The survivors (18082, 18083) serve both runs. Armed client.latency faults
+# slow every dispatch by 1s so the SIGKILL reliably lands mid-run; the
+# journal directory is the only state that survives the kill.
+survivors=http://127.0.0.1:18082,http://127.0.0.1:18083
+jdir="${CLUSTER_JOURNAL_DIR:-$dir/journal}"
+mkdir -p "$jdir"
+
+"$dir/raysched" cluster "${params[@]}" \
+  -workers "$survivors" \
+  -shard-size 1 -lease 10s -max-attempts 30 \
+  -journal "$jdir" \
+  -faults "seed=3,client.latency=delay:1:1s" \
+  -out "$dir/killed.csv" 2> "$dir/killed.log" & cpid=$!
+
+# Wait until at least two shards have landed in the journal, then SIGKILL
+# the coordinator — no drain, no goodbye, exactly like an OOM kill.
+for _ in $(seq 1 200); do
+  n=$(find "$jdir" -name '*.shard' 2>/dev/null | wc -l)
+  [[ "$n" -ge 2 ]] && break
+  sleep 0.1
+done
+kill -9 "$cpid" 2>/dev/null || true
+if wait "$cpid" 2>/dev/null; then
+  echo "cluster-smoke: FAIL — coordinator finished before the SIGKILL landed" >&2
+  exit 1
+fi
+cat "$dir/killed.log" >&2 || true
+
+n=$(find "$jdir" -name '*.shard' | wc -l)
+if [[ "$n" -lt 1 || "$n" -gt 5 ]]; then
+  echo "cluster-smoke: FAIL — journal holds $n shards after the kill; a resume from it proves nothing (want 1..5 of 6)" >&2
+  exit 1
+fi
+echo "cluster-smoke: coordinator SIGKILL'd with $n/6 shards journaled"
+
+# Resume: same run identity, same journal, faults disarmed. Only the
+# uncovered ranges may be re-dispatched, and the merged output must still be
+# byte-identical to the single-node run.
+"$dir/raysched" cluster "${params[@]}" \
+  -workers "$survivors" \
+  -shard-size 1 -lease 10s -max-attempts 30 \
+  -journal "$jdir" \
+  -out "$dir/resumed.csv" 2> "$dir/resumed.log"
+cat "$dir/resumed.log" >&2
+
+if ! grep -Eq '\([1-9][0-9]* resumed from journal\)' "$dir/resumed.log"; then
+  echo "cluster-smoke: FAIL — the resumed run restored nothing from the journal" >&2
+  exit 1
+fi
+cmp "$dir/single.csv" "$dir/resumed.csv"
+echo "cluster-smoke: resume after coordinator SIGKILL byte-identical to single-node run"
